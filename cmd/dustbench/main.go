@@ -1,0 +1,56 @@
+// Command dustbench regenerates the paper's tables and figures over the
+// synthetic benchmark corpus.
+//
+// Usage:
+//
+//	dustbench -list             # show available experiments
+//	dustbench                   # run everything at full scale
+//	dustbench -exp table2       # run one experiment
+//	dustbench -quick            # reduced scale (seconds instead of minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dust/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment to run (default: all)")
+		quick = flag.Bool("quick", false, "reduced workload sizes")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-22s %s\n", r.Name, r.Artifact)
+		}
+		return
+	}
+	cfg := experiments.Config{Quick: *quick}
+
+	run := func(r experiments.Runner) {
+		start := time.Now()
+		rep := r.Run(cfg)
+		fmt.Println(rep.String())
+		fmt.Printf("  (%s finished in %v)\n\n", r.Name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp != "" {
+		r, err := experiments.Get(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		run(r)
+		return
+	}
+	for _, r := range experiments.All() {
+		run(r)
+	}
+}

@@ -1,0 +1,85 @@
+// Command dustgen materialises the synthetic benchmarks as CSV trees so
+// they can be inspected, loaded by dustsearch, or reused outside Go.
+//
+// Usage:
+//
+//	dustgen -bench santos -out ./santos
+//
+// The output directory receives lake/<table>.csv, queries/<query>.csv, and
+// groundtruth.csv (query table name -> unionable lake table names).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dust/internal/datagen"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "santos", "benchmark: tus, tus-sampled, santos, ugen, imdb")
+		out   = flag.String("out", "", "output directory (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "dustgen: -out is required")
+		os.Exit(2)
+	}
+
+	var b *datagen.Benchmark
+	switch *bench {
+	case "tus":
+		b = datagen.TUS()
+	case "tus-sampled":
+		b = datagen.TUSSampled()
+	case "santos":
+		b = datagen.SANTOS()
+	case "ugen":
+		b = datagen.UGEN()
+	case "imdb":
+		b = datagen.IMDB()
+	default:
+		fmt.Fprintf(os.Stderr, "dustgen: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+
+	if err := write(b, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "dustgen:", err)
+		os.Exit(1)
+	}
+	s := b.Lake.Stats()
+	fmt.Printf("wrote %s: %d queries, %s\n", b.Name, len(b.Queries), s)
+}
+
+func write(b *datagen.Benchmark, dir string) error {
+	if err := b.Lake.Save(filepath.Join(dir, "lake")); err != nil {
+		return err
+	}
+	for _, q := range b.Queries {
+		if err := q.SaveCSV(filepath.Join(dir, "queries", q.Name+".csv")); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(filepath.Join(dir, "groundtruth.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"query", "unionable_table"}); err != nil {
+		return err
+	}
+	for _, q := range b.Queries {
+		for _, n := range b.Unionable[q.Name] {
+			if err := w.Write([]string{q.Name, n}); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

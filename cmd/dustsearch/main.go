@@ -1,0 +1,87 @@
+// Command dustsearch runs the end-to-end DUST pipeline: given a query CSV
+// and a directory of lake CSVs, it prints (or writes) the k most diverse
+// unionable tuples.
+//
+// Usage:
+//
+//	dustsearch -query q.csv -lake ./lake -k 20
+//	dustsearch -query q.csv -lake ./lake -k 50 -model dust.model -out diverse.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dust"
+	"dust/internal/lake"
+	"dust/internal/model"
+	"dust/internal/table"
+)
+
+func main() {
+	var (
+		queryPath = flag.String("query", "", "query table CSV (required)")
+		lakeDir   = flag.String("lake", "", "directory of lake CSVs (required)")
+		k         = flag.Int("k", 20, "number of diverse tuples")
+		topTables = flag.Int("tables", 10, "unionable tables to retrieve")
+		modelPath = flag.String("model", "", "fine-tuned model from dusttrain (optional)")
+		outPath   = flag.String("out", "", "write result CSV here instead of stdout")
+	)
+	flag.Parse()
+	if *queryPath == "" || *lakeDir == "" {
+		fmt.Fprintln(os.Stderr, "dustsearch: -query and -lake are required")
+		os.Exit(2)
+	}
+
+	query, err := table.LoadCSV(*queryPath)
+	if err != nil {
+		fatal(err)
+	}
+	l, err := lake.Load(*lakeDir)
+	if err != nil {
+		fatal(err)
+	}
+	opts := []dust.Option{dust.WithTopTables(*topTables)}
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := model.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, dust.WithTupleEncoder(m))
+	}
+
+	res, err := dust.New(l, opts...).Search(query, *k)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("retrieved %d unionable tables: %s\n",
+		len(res.UnionableTables), strings.Join(res.UnionableTables, ", "))
+	fmt.Printf("unionable tuple pool: %d; returning %d diverse tuples\n\n",
+		res.Unioned.NumRows(), res.Tuples.NumRows())
+
+	if *outPath != "" {
+		if err := res.Tuples.SaveCSV(*outPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+		return
+	}
+	fmt.Println(strings.Join(res.Tuples.Headers(), " | "))
+	for i := 0; i < res.Tuples.NumRows(); i++ {
+		fmt.Printf("%s   (from %s)\n",
+			strings.Join(res.Tuples.Row(i), " | "), res.Provenance[i].Table)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dustsearch:", err)
+	os.Exit(1)
+}

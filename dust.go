@@ -1,0 +1,220 @@
+// Package dust is the public API of the DUST reproduction: Diverse
+// Unionable Tuple Search over data lakes (Khatiwada, Shraga, Miller,
+// EDBT 2026). Given a query table, a Pipeline discovers unionable tables in
+// a lake, aligns their columns holistically to the query schema,
+// outer-unions them into unionable tuples, embeds every tuple, and returns
+// the k tuples that are most diverse with respect to the query table and
+// each other (Algorithm 1 of the paper).
+//
+// The building blocks live in internal packages and are assembled here:
+//
+//	lk, _ := lake.Load("my-lake-dir")     // or build one in memory
+//	p := dust.New(lk)                     // defaults: Starmie search + DUST diversifier
+//	res, err := p.Search(queryTable, 50)  // 50 diverse unionable tuples
+//
+// The zero-config pipeline uses simulated pre-trained encoders; production
+// use fine-tunes a tuple model first (cmd/dusttrain) and installs it with
+// WithTupleEncoder.
+package dust
+
+import (
+	"fmt"
+
+	"dust/internal/align"
+	"dust/internal/diversify"
+	"dust/internal/embed"
+	"dust/internal/lake"
+	"dust/internal/model"
+	"dust/internal/search"
+	"dust/internal/table"
+	"dust/internal/vector"
+)
+
+// Pipeline wires the four stages of Algorithm 1. Construct with New and
+// customize with the With* options.
+type Pipeline struct {
+	searcher    search.Searcher
+	columnEnc   embed.ColumnEncoder
+	tupleEnc    model.TupleEncoder
+	diversifier diversify.Algorithm
+	dist        vector.DistanceFunc
+	topTables   int
+}
+
+// Option customizes a Pipeline.
+type Option func(*Pipeline)
+
+// WithSearcher replaces the table union searcher (default: Starmie-like).
+func WithSearcher(s search.Searcher) Option { return func(p *Pipeline) { p.searcher = s } }
+
+// WithColumnEncoder replaces the column encoder used for alignment
+// (default: column-level RoBERTa, the paper's best in Table 1).
+func WithColumnEncoder(e embed.ColumnEncoder) Option { return func(p *Pipeline) { p.columnEnc = e } }
+
+// WithTupleEncoder replaces the tuple embedding model (default: a
+// content-dominant pre-trained simulator; install a fine-tuned
+// model.Model for the paper's full setup).
+func WithTupleEncoder(e model.TupleEncoder) Option { return func(p *Pipeline) { p.tupleEnc = e } }
+
+// WithDiversifier replaces the diversification algorithm (default: DUST).
+func WithDiversifier(a diversify.Algorithm) Option { return func(p *Pipeline) { p.diversifier = a } }
+
+// WithDistance replaces the tuple distance (default: cosine distance).
+func WithDistance(d vector.DistanceFunc) Option { return func(p *Pipeline) { p.dist = d } }
+
+// WithTopTables sets how many unionable tables the search stage retrieves
+// before alignment (default: 10).
+func WithTopTables(n int) Option { return func(p *Pipeline) { p.topTables = n } }
+
+// New builds a Pipeline over a lake with the paper's default configuration.
+func New(l *lake.Lake, opts ...Option) *Pipeline {
+	p := &Pipeline{
+		searcher:    search.NewStarmie(l),
+		columnEnc:   embed.ColumnLevel{Model: embed.NewRoBERTa()},
+		tupleEnc:    embed.NewRoBERTa(embed.WithAnisotropy(0.05)),
+		diversifier: diversify.NewDUST(),
+		dist:        vector.CosineDistance,
+		topTables:   10,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Result is the output of one diverse unionable tuple search.
+type Result struct {
+	// Tuples holds the k diverse tuples in the query's schema.
+	Tuples *table.Table
+	// Provenance names the source lake table and row of each result tuple.
+	Provenance []table.Provenance
+	// UnionableTables lists the lake tables the search stage retrieved.
+	UnionableTables []string
+	// Unioned is the full set of unionable tuples before diversification
+	// (the outer union of the aligned tables).
+	Unioned *table.Table
+	// UnionedProvenance is index-aligned with Unioned's rows.
+	UnionedProvenance []table.Provenance
+}
+
+// Search runs Algorithm 1: discover unionable tables, align and
+// outer-union them, embed all tuples, and return k diverse ones.
+func (p *Pipeline) Search(query *table.Table, k int) (*Result, error) {
+	if query == nil || query.NumCols() == 0 {
+		return nil, fmt.Errorf("dust: empty query table")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("dust: k must be positive, got %d", k)
+	}
+
+	// Line 3: D' <- SearchTables(Q, D).
+	hits := p.searcher.TopK(query, p.topTables)
+	tables := make([]*table.Table, 0, len(hits))
+	names := make([]string, 0, len(hits))
+	for _, h := range hits {
+		tables = append(tables, h.Table)
+		names = append(names, h.Table.Name)
+	}
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("dust: no unionable tables found for %s", query.Name)
+	}
+
+	// Line 5: T <- AlignColumns(Q, D').
+	cols := align.EmbedColumns(query, tables, p.columnEnc)
+	res := align.Holistic(cols)
+	headers, mappings, err := res.Mappings(query, tables)
+	if err != nil {
+		return nil, fmt.Errorf("dust: align: %w", err)
+	}
+	unioned, prov, err := table.OuterUnion(query.Name+"_unionable", headers, mappings)
+	if err != nil {
+		return nil, fmt.Errorf("dust: union: %w", err)
+	}
+	// Drop rows that aligned on too little: a mostly-null tuple has a
+	// degenerate embedding that looks maximally "diverse" while carrying
+	// almost no information for the query schema. Outer union legitimately
+	// pads missing columns (paper §3.3), so the bar is one third of the
+	// schema, falling back to any-non-null if nothing clears it.
+	keep := coverageRows(unioned, 1.0/3)
+	if len(keep) == 0 {
+		keep = coverageRows(unioned, 0)
+	}
+	unioned, prov = filterRows(unioned, prov, keep)
+	if unioned.NumRows() == 0 {
+		return nil, fmt.Errorf("dust: alignment produced no unionable tuples for %s", query.Name)
+	}
+
+	// Line 7: embed query and data lake tuples.
+	eq := make([]vector.Vec, query.NumRows())
+	for i := range eq {
+		eq[i] = p.tupleEnc.EncodeTuple(headers, query.Row(i))
+	}
+	et := make([]vector.Vec, unioned.NumRows())
+	groups := make([]int, unioned.NumRows())
+	groupIDs := map[string]int{}
+	for i := range et {
+		et[i] = p.tupleEnc.EncodeTuple(headers, unioned.Row(i))
+		g, ok := groupIDs[prov[i].Table]
+		if !ok {
+			g = len(groupIDs)
+			groupIDs[prov[i].Table] = g
+		}
+		groups[i] = g
+	}
+
+	// Line 8: F <- DiversifyTuples(EQ, ET, k).
+	idx := p.diversifier.Select(diversify.Problem{
+		Query: eq, Tuples: et, Groups: groups, K: k, Dist: p.dist,
+	})
+
+	out := table.New(query.Name+"_diverse", headers...)
+	outProv := make([]table.Provenance, 0, len(idx))
+	for _, i := range idx {
+		if err := out.AppendRow(unioned.Row(i)); err != nil {
+			return nil, err
+		}
+		outProv = append(outProv, prov[i])
+	}
+	return &Result{
+		Tuples:            out,
+		Provenance:        outProv,
+		UnionableTables:   names,
+		Unioned:           unioned,
+		UnionedProvenance: prov,
+	}, nil
+}
+
+// coverageRows returns the indices of rows whose fraction of non-null
+// cells is at least minCoverage (and always at least one non-null cell).
+func coverageRows(t *table.Table, minCoverage float64) []int {
+	var keep []int
+	for i := 0; i < t.NumRows(); i++ {
+		filled := 0
+		for j := 0; j < t.NumCols(); j++ {
+			if t.Cell(i, j) != table.Null {
+				filled++
+			}
+		}
+		if filled > 0 && float64(filled) >= minCoverage*float64(t.NumCols()) {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}
+
+// filterRows projects a table and its provenance onto the kept rows.
+func filterRows(t *table.Table, prov []table.Provenance, keep []int) (*table.Table, []table.Provenance) {
+	if len(keep) == t.NumRows() {
+		return t, prov
+	}
+	out, err := t.Select(t.Name, keep)
+	if err != nil {
+		// keep indices come from nonEmptyRows and are always valid.
+		panic(err)
+	}
+	np := make([]table.Provenance, len(keep))
+	for i, r := range keep {
+		np[i] = prov[r]
+	}
+	return out, np
+}

@@ -1,0 +1,36 @@
+// Finetune: trains a small DUST tuple-embedding model on a generated
+// TUS-style pair dataset and compares its unionability classification
+// accuracy against the pre-trained baselines (the paper's Fig. 6 in
+// miniature).
+package main
+
+import (
+	"fmt"
+
+	"dust/internal/datagen"
+	"dust/internal/embed"
+	"dust/internal/model"
+)
+
+func main() {
+	fmt.Println("generating fine-tuning pairs from a TUS-style benchmark...")
+	bench := datagen.Generate("finetune-demo", datagen.Config{
+		Seed: 7, Domains: 8, TablesPerBase: 8, BaseRows: 60, MinRows: 10, MaxRows: 20,
+	})
+	ds := datagen.Pairs(bench, 1200, 8)
+	fmt.Printf("pairs: %d train / %d val / %d test\n\n", len(ds.Train), len(ds.Val), len(ds.Test))
+
+	cfg := model.DefaultConfig()
+	cfg.Epochs = 25
+	fmt.Println("fine-tuning DUST (RoBERTa base)...")
+	m := model.Train("dust-roberta", model.NewRoBERTaFeaturizer(), ds.Train, ds.Val, cfg)
+
+	fmt.Printf("\n%-14s %s\n", "model", "accuracy @ 0.7 cosine distance")
+	for _, enc := range []model.TupleEncoder{
+		embed.NewBERT(), embed.NewRoBERTa(), embed.NewSBERT(), m,
+	} {
+		fmt.Printf("%-14s %.3f\n", enc.Name(), model.Accuracy(enc, ds.Test, model.ClassifyThreshold))
+	}
+	fmt.Println("\npre-trained models sit near the coin toss; fine-tuning is what")
+	fmt.Println("teaches the embedding space tuple unionability (paper §4, Fig. 6).")
+}

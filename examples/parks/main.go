@@ -1,0 +1,77 @@
+// Parks: the paper's Figure 1 walkthrough. A similarity-based union search
+// returns the tuples of the near-copy table (most unionable, Table (e));
+// DUST returns novel parks from the renamed table (most diverse, Table
+// (f)). This example runs both selections over the same unionable tuple
+// pool and prints them side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dust"
+	"dust/internal/diversify"
+	"dust/internal/lake"
+	"dust/internal/table"
+)
+
+func buildLake() (*table.Table, *lake.Lake) {
+	query := table.New("query", "Park Name", "Supervisor", "City", "Country")
+	query.MustAppendRow("River Park", "Vera Onate", "Fresno", "USA")
+	query.MustAppendRow("West Lawn Park", "Paul Veliotis", "Chicago", "USA")
+	query.MustAppendRow("Hyde Park", "Jenny Rishi", "London", "UK")
+
+	l := lake.New("fig1")
+
+	// Table (b): mostly a copy of the query with one new tuple.
+	b := table.New("table_b", "Park Name", "Supervisor", "Country")
+	b.MustAppendRow("River Park", "Vera Onate", "USA")
+	b.MustAppendRow("West Lawn Park", "Paul Veliotis", "USA")
+	b.MustAppendRow("Hyde Park", "Jenny Rishi", "UK")
+	l.MustAdd(b)
+
+	// Table (c): paintings — shares only Country, not unionable.
+	c := table.New("table_c", "Painting", "Medium", "Dimensions", "Date", "Country")
+	c.MustAppendRow("Northern Lake", "Oil on canvas", "91.4 x 121.9 cm", "2006", "Canada")
+	c.MustAppendRow("Memory Landscape 2", "Mixed media", "33 x 324 cm", "2018", "USA")
+	l.MustAdd(c)
+
+	// Table (d): unionable with renamed columns and new parks.
+	d := table.New("table_d", "Park Name", "Park City", "Park Country", "Park Phone", "Supervised by")
+	d.MustAppendRow("Chippewa Park", "Brandon, MN", "USA", "773 731-0380", "Tim Erickson")
+	d.MustAppendRow("Lawler Park", "Chicago, IL", "USA", "773 284-7328", "Enrique Garcia")
+	l.MustAdd(d)
+	return query, l
+}
+
+func printRows(t *table.Table) {
+	for i := 0; i < t.NumRows(); i++ {
+		fmt.Println("   ", strings.Join(t.Row(i), " | "))
+	}
+}
+
+func main() {
+	query, l := buildLake()
+
+	// Existing work (most unionable): rank the pooled tuples by similarity
+	// to the query — the redundant copies win.
+	pipe := dust.New(l, dust.WithTopTables(2), dust.WithDiversifier(diversify.TopTuples{}))
+	similar, err := pipe.Search(query, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Existing work (most unionable) — Table (e):")
+	printRows(similar.Tuples)
+
+	// Our work (most diverse): DUST avoids tuples the query already has.
+	diverse, err := dust.New(l, dust.WithTopTables(2)).Search(query, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDUST (most diverse) — Table (f):")
+	printRows(diverse.Tuples)
+
+	fmt.Println("\nnon-unionable table_c was ranked below the unionable tables:",
+		strings.Join(diverse.UnionableTables, ", "))
+}

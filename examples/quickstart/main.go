@@ -1,0 +1,60 @@
+// Quickstart: build a tiny in-memory data lake, run the DUST pipeline, and
+// print the diverse unionable tuples it returns for a query table.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dust"
+	"dust/internal/lake"
+	"dust/internal/table"
+)
+
+func main() {
+	// A query table the user already has: parks they know about.
+	query := table.New("my_parks", "Park Name", "Supervisor", "City", "Country")
+	query.MustAppendRow("River Park", "Vera Onate", "Fresno", "USA")
+	query.MustAppendRow("West Lawn Park", "Paul Veliotis", "Chicago", "USA")
+	query.MustAppendRow("Hyde Park", "Jenny Rishi", "London", "UK")
+
+	// A small data lake: one table is nearly a copy of the query (the
+	// redundancy problem), one has new parks under different column names,
+	// and one is about paintings (not unionable at all).
+	l := lake.New("demo-lake")
+
+	copycat := table.New("parks_mirror", "Park Name", "Supervisor", "Country")
+	copycat.MustAppendRow("River Park", "Vera Onate", "USA")
+	copycat.MustAppendRow("West Lawn Park", "Paul Veliotis", "USA")
+	copycat.MustAppendRow("Hyde Park", "Jenny Rishi", "UK")
+	l.MustAdd(copycat)
+
+	fresh := table.New("city_parks", "Name of Park", "Supervised by", "Park City", "Park Country")
+	fresh.MustAppendRow("Chippewa Park", "Tim Erickson", "Brandon, MN", "USA")
+	fresh.MustAppendRow("Lawler Park", "Enrique Garcia", "Chicago, IL", "USA")
+	fresh.MustAppendRow("Cedar Grove", "Maria Silva", "Waterloo, ON", "Canada")
+	fresh.MustAppendRow("Sunset Commons", "Raj Iyer", "Austin, TX", "USA")
+	l.MustAdd(fresh)
+
+	paintings := table.New("paintings", "Painting", "Medium", "Date", "Country")
+	paintings.MustAppendRow("Northern Lake", "Oil on canvas", "2006", "Canada")
+	paintings.MustAppendRow("Memory Landscape 2", "Mixed media", "2018", "USA")
+	l.MustAdd(paintings)
+
+	// Run the pipeline: search -> align -> union -> embed -> diversify.
+	pipeline := dust.New(l, dust.WithTopTables(2))
+	res, err := pipeline.Search(query, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("unionable tables found:", strings.Join(res.UnionableTables, ", "))
+	fmt.Printf("unionable tuple pool: %d rows\n\n", res.Unioned.NumRows())
+	fmt.Println("3 diverse unionable tuples:")
+	fmt.Println("  " + strings.Join(res.Tuples.Headers(), " | "))
+	for i := 0; i < res.Tuples.NumRows(); i++ {
+		fmt.Printf("  %s   (from %s)\n",
+			strings.Join(res.Tuples.Row(i), " | "), res.Provenance[i].Table)
+	}
+}

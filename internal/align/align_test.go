@@ -1,0 +1,252 @@
+package align
+
+import (
+	"math"
+	"testing"
+
+	"dust/internal/datagen"
+	"dust/internal/embed"
+	"dust/internal/table"
+)
+
+// fig1 builds the paper's Fig. 1 scenario: parks query, one near-copy
+// table, one table with renamed columns plus an extra Phone column, and
+// (for search tests) the paintings table is unrelated so it's not passed.
+func fig1() (*table.Table, []*table.Table) {
+	q := table.New("query", "Park Name", "Supervisor", "City", "Country")
+	q.MustAppendRow("River Park", "Vera Onate", "Fresno", "USA")
+	q.MustAppendRow("West Lawn Park", "Paul Veliotis", "Chicago", "USA")
+	q.MustAppendRow("Hyde Park", "Jenny Rishi", "London", "UK")
+
+	b := table.New("table_b", "Park Name", "Supervisor", "Country")
+	b.MustAppendRow("River Park", "Vera Onate", "USA")
+	b.MustAppendRow("West Lawn Park", "Paul Veliotis", "USA")
+	b.MustAppendRow("Hyde Park", "Jenny Rishi", "UK")
+
+	d := table.New("table_d", "Park Name", "Park City", "Park Country", "Park Phone", "Supervised by")
+	d.MustAppendRow("Chippewa Park", "Brandon, MN", "USA", "773 731-0380", "Tim Erickson")
+	d.MustAppendRow("Lawler Park", "Chicago, IL", "USA", "773 284-7328", "Enrique Garcia")
+	d.MustAppendRow("Cedar Grove", "Austin, TX", "USA", "773 555-0199", "Maria Silva")
+	return q, []*table.Table{b, d}
+}
+
+func TestEmbedColumnsUniverse(t *testing.T) {
+	q, tabs := fig1()
+	cols := EmbedColumns(q, tabs, embed.ColumnLevel{Model: embed.NewRoBERTa()})
+	if len(cols) != 4+3+5 {
+		t.Fatalf("universe size = %d, want 12", len(cols))
+	}
+	queries := 0
+	for _, c := range cols {
+		if c.IsQuery {
+			queries++
+		}
+		if len(c.Vec) == 0 {
+			t.Fatalf("column %s.%s has empty embedding", c.Table, c.Name)
+		}
+	}
+	if queries != 4 {
+		t.Errorf("query columns = %d, want 4", queries)
+	}
+}
+
+func TestHolisticAlignsFig1(t *testing.T) {
+	q, tabs := fig1()
+	cols := EmbedColumns(q, tabs, embed.ColumnLevel{Model: embed.NewRoBERTa()})
+	res := Holistic(cols)
+	if len(res.Clusters) == 0 || len(res.Clusters) > 4 {
+		t.Fatalf("clusters = %d, want 1..4 (one per query column at most)", len(res.Clusters))
+	}
+	// No cluster may contain two columns of the same table.
+	for _, members := range res.Clusters {
+		seen := map[string]bool{}
+		for _, idx := range members {
+			if seen[res.Cols[idx].Table] {
+				t.Fatalf("cluster contains two columns of table %s", res.Cols[idx].Table)
+			}
+			seen[res.Cols[idx].Table] = true
+		}
+	}
+	// Every cluster must contain exactly one query column.
+	for _, members := range res.Clusters {
+		nq := 0
+		for _, idx := range members {
+			if res.Cols[idx].IsQuery {
+				nq++
+			}
+		}
+		if nq != 1 {
+			t.Fatalf("cluster has %d query columns, want 1", nq)
+		}
+	}
+}
+
+func TestHolisticMappingsProduceFig1Union(t *testing.T) {
+	q, tabs := fig1()
+	cols := EmbedColumns(q, tabs, embed.ColumnLevel{Model: embed.NewRoBERTa()})
+	res := Holistic(cols)
+	headers, mappings, err := res.Mappings(q, tabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(headers) != 4 {
+		t.Fatalf("headers = %v", headers)
+	}
+	u, prov, err := table.OuterUnion("unioned", headers, mappings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumRows() != 6 {
+		t.Errorf("unioned rows = %d, want 6", u.NumRows())
+	}
+	if len(prov) != 6 {
+		t.Errorf("provenance = %d entries", len(prov))
+	}
+	// The Park Name column must carry park names from both tables. Find the
+	// Park Name target index.
+	pn := u.ColumnIndex("Park Name")
+	if pn < 0 {
+		t.Fatal("no Park Name column in union")
+	}
+	names := map[string]bool{}
+	for i := 0; i < u.NumRows(); i++ {
+		names[u.Cell(i, pn)] = true
+	}
+	if !names["River Park"] || !names["Chippewa Park"] {
+		t.Errorf("Park Name column missing expected values: %v", names)
+	}
+}
+
+func TestBipartiteRespectsStructure(t *testing.T) {
+	q, tabs := fig1()
+	cols := EmbedColumns(q, tabs, embed.ColumnLevel{Model: embed.NewRoBERTa()})
+	res := Bipartite(cols, 0.0)
+	if len(res.Clusters) != 4 {
+		t.Fatalf("bipartite clusters = %d, want 4 (one per query column)", len(res.Clusters))
+	}
+	// At most one column per table per cluster (matching guarantees it).
+	for _, members := range res.Clusters {
+		seen := map[string]bool{}
+		for _, idx := range members {
+			if seen[res.Cols[idx].Table] {
+				t.Fatal("bipartite cluster contains two columns of one table")
+			}
+			seen[res.Cols[idx].Table] = true
+		}
+	}
+	if !math.IsNaN(res.Silhouette) {
+		t.Error("bipartite silhouette should be NaN")
+	}
+}
+
+func TestGroundTruthAndEvaluateOnGenerated(t *testing.T) {
+	b := datagen.Generate("align-test", datagen.Config{
+		Seed: 61, Domains: 3, TablesPerBase: 4, BaseRows: 40, MinRows: 10, MaxRows: 20, RenameProb: 0.3,
+	})
+	q := b.Queries[0]
+	var tabs []*table.Table
+	for _, n := range b.Unionable[q.Name] {
+		tabs = append(tabs, b.Lake.Get(n))
+	}
+	truth := GroundTruth(q, tabs, b.Origins)
+	if len(truth) == 0 {
+		t.Fatal("empty ground truth")
+	}
+
+	cols := EmbedColumns(q, tabs, embed.ColumnLevel{Model: embed.NewRoBERTa()})
+	res := Holistic(cols)
+	m := Evaluate(res, truth)
+	if m.F1 < 0.5 {
+		t.Errorf("holistic RoBERTa F1 = %v on easy generated benchmark, want >= 0.5", m.F1)
+	}
+	if m.Precision < 0 || m.Precision > 1 || m.Recall < 0 || m.Recall > 1 {
+		t.Errorf("metrics out of range: %+v", m)
+	}
+}
+
+func TestPerfectAlignmentScoresOne(t *testing.T) {
+	// Build a synthetic result that exactly matches ground truth.
+	q := table.New("q", "A", "B")
+	q.MustAppendRow("x", "y")
+	t1 := table.New("t1", "A", "B")
+	t1.MustAppendRow("x", "y")
+	origins := map[string][]string{
+		"q":  {"base.A", "base.B"},
+		"t1": {"base.A", "base.B"},
+	}
+	truth := GroundTruth(q, []*table.Table{t1}, origins)
+	cols := []Column{
+		{Table: "q", Index: 0, Name: "A", IsQuery: true},
+		{Table: "q", Index: 1, Name: "B", IsQuery: true},
+		{Table: "t1", Index: 0, Name: "A"},
+		{Table: "t1", Index: 1, Name: "B"},
+	}
+	res := &Result{Cols: cols, Clusters: [][]int{{0, 2}, {1, 3}}}
+	m := Evaluate(res, truth)
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+		t.Errorf("perfect alignment metrics = %+v, want all 1", m)
+	}
+}
+
+func TestNoMatchQueryColumnsInGroundTruth(t *testing.T) {
+	q := table.New("q", "A", "Unmatched")
+	q.MustAppendRow("x", "z")
+	t1 := table.New("t1", "A")
+	t1.MustAppendRow("x")
+	origins := map[string][]string{
+		"q":  {"base.A", "base.Z"},
+		"t1": {"base.A"},
+	}
+	truth := GroundTruth(q, []*table.Table{t1}, origins)
+	// Expect pair (q.A, t1.A) and self-pair (q.Unmatched).
+	if len(truth) != 2 {
+		t.Fatalf("ground truth size = %d, want 2", len(truth))
+	}
+	self := mkPair(Ref{"q", 1}, Ref{"q", 1})
+	if !truth[self] {
+		t.Error("missing self-pair for unmatched query column")
+	}
+}
+
+func TestStarmieEncodersProduceUniverse(t *testing.T) {
+	q, tabs := fig1()
+	cols := EmbedColumnsStarmie(q, tabs, embed.NewStarmie())
+	if len(cols) != 12 {
+		t.Fatalf("starmie universe = %d, want 12", len(cols))
+	}
+	res := Holistic(cols)
+	for _, members := range res.Clusters {
+		seen := map[string]bool{}
+		for _, idx := range members {
+			if seen[res.Cols[idx].Table] {
+				t.Fatal("starmie holistic cluster violates same-table constraint")
+			}
+			seen[res.Cols[idx].Table] = true
+		}
+	}
+}
+
+func TestMappingsHandlesUnalignedTables(t *testing.T) {
+	q, tabs := fig1()
+	cols := EmbedColumns(q, tabs, embed.ColumnLevel{Model: embed.NewRoBERTa()})
+	res := Holistic(cols)
+	// Add a table that was never aligned (no columns in any cluster).
+	extra := table.New("extra", "Zzz")
+	extra.MustAppendRow("1")
+	headers, mappings, err := res.Mappings(q, append(tabs, extra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mappings) != 3 {
+		t.Fatalf("mappings = %d, want 3", len(mappings))
+	}
+	last := mappings[2]
+	for _, src := range last.TargetToSource {
+		if src != -1 {
+			t.Error("unaligned table mapped a column")
+		}
+	}
+	if len(headers) != 4 {
+		t.Errorf("headers = %v", headers)
+	}
+}

@@ -1,0 +1,98 @@
+package align
+
+import (
+	"dust/internal/table"
+)
+
+// pairKey canonically encodes an alignment pair (or a no-match singleton,
+// encoded as a self-pair) for set comparison.
+type pairKey struct {
+	a, b Ref
+}
+
+func mkPair(a, b Ref) pairKey {
+	if b.Table < a.Table || (b.Table == a.Table && b.Index < a.Index) {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// pairsFromClusters expands clusters into the paper's pair representation
+// (§6.2.2): query-to-lake pairs, lake-to-lake pairs within a cluster, and a
+// self-pair for every query column with no aligned lake column.
+func pairsFromClusters(cols []Column, clusters [][]int) map[pairKey]bool {
+	out := map[pairKey]bool{}
+	for _, members := range clusters {
+		refs := make([]Ref, len(members))
+		for i, idx := range members {
+			refs[i] = Ref{cols[idx].Table, cols[idx].Index}
+		}
+		if len(members) == 1 && cols[members[0]].IsQuery {
+			out[mkPair(refs[0], refs[0])] = true
+			continue
+		}
+		for i := 0; i < len(refs); i++ {
+			for j := i + 1; j < len(refs); j++ {
+				out[mkPair(refs[i], refs[j])] = true
+			}
+		}
+	}
+	return out
+}
+
+// GroundTruth builds the true alignment pair set for a query and its
+// unionable tables from per-column origin ids (datagen ground truth): a
+// lake column aligns with a query column iff their origin ids are equal.
+func GroundTruth(query *table.Table, tables []*table.Table, origins map[string][]string) map[pairKey]bool {
+	out := map[pairKey]bool{}
+	qOrigins := origins[query.Name]
+	for qi := 0; qi < query.NumCols(); qi++ {
+		group := []Ref{{query.Name, qi}}
+		for _, t := range tables {
+			tOrigins := origins[t.Name]
+			for ci := 0; ci < t.NumCols(); ci++ {
+				if ci < len(tOrigins) && qi < len(qOrigins) && tOrigins[ci] == qOrigins[qi] {
+					group = append(group, Ref{t.Name, ci})
+				}
+			}
+		}
+		if len(group) == 1 {
+			out[mkPair(group[0], group[0])] = true
+			continue
+		}
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				out[mkPair(group[i], group[j])] = true
+			}
+		}
+	}
+	return out
+}
+
+// Metrics holds precision, recall, and F1.
+type Metrics struct {
+	Precision, Recall, F1 float64
+}
+
+// Evaluate scores an alignment result against ground truth using the
+// paper's pair-set precision/recall/F1 (§6.2.2).
+func Evaluate(r *Result, truth map[pairKey]bool) Metrics {
+	method := pairsFromClusters(r.Cols, r.Clusters)
+	inter := 0
+	for p := range method {
+		if truth[p] {
+			inter++
+		}
+	}
+	var m Metrics
+	if len(method) > 0 {
+		m.Precision = float64(inter) / float64(len(method))
+	}
+	if len(truth) > 0 {
+		m.Recall = float64(inter) / float64(len(truth))
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}

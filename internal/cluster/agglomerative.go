@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+)
+
+// Linkage selects the cluster-distance update rule.
+type Linkage int
+
+const (
+	// Average linkage (UPGMA) — the paper's configuration (§6.2.1).
+	Average Linkage = iota
+	// Single linkage (nearest member).
+	Single
+	// Complete linkage (farthest member).
+	Complete
+)
+
+// String returns the lowercase linkage name.
+func (l Linkage) String() string {
+	switch l {
+	case Single:
+		return "single"
+	case Complete:
+		return "complete"
+	default:
+		return "average"
+	}
+}
+
+// Merge records one agglomeration step: clusters A and B (ids) merged at
+// the given distance into a new cluster with id New.
+type Merge struct {
+	A, B     int
+	Distance float64
+	New      int
+}
+
+// Dendrogram is the full merge history of an agglomerative run. Leaf items
+// have ids 0..N-1; merged clusters get ids N, N+1, ...
+type Dendrogram struct {
+	N      int
+	Merges []Merge
+}
+
+// Options configures an agglomerative run.
+type Options struct {
+	Linkage Linkage
+	// CannotLink, if non-nil, reports that leaf items i and j must never
+	// end up in the same cluster (used to forbid aligning two columns of
+	// the same table, paper §3.3). The constraint propagates to merged
+	// clusters automatically.
+	CannotLink func(i, j int) bool
+}
+
+// Agglomerative clusters the items of m bottom-up using the
+// nearest-neighbour-chain algorithm with Lance-Williams distance updates
+// (O(n^2) for the reducible linkages offered here). Pairs forbidden by
+// CannotLink get +Inf distance, which Lance-Williams propagates, so the
+// returned dendrogram may stop early if only forbidden merges remain.
+func Agglomerative(m *Matrix, opts Options) *Dendrogram {
+	n := m.Len()
+	dend := &Dendrogram{N: n}
+	if n <= 1 {
+		return dend
+	}
+
+	// Working distance matrix between active clusters, indexed by slot.
+	// Slot i initially holds leaf i; merged clusters reuse slot of A.
+	d := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d[i*n+j] = m.At(i, j)
+		}
+	}
+	if opts.CannotLink != nil {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if opts.CannotLink(i, j) {
+					d[i*n+j] = math.Inf(1)
+					d[j*n+i] = math.Inf(1)
+				}
+			}
+		}
+	}
+
+	active := make([]bool, n)
+	size := make([]int, n)
+	id := make([]int, n) // dendrogram id currently held by each slot
+	for i := 0; i < n; i++ {
+		active[i] = true
+		size[i] = 1
+		id[i] = i
+	}
+	nextID := n
+	remaining := n
+
+	// nearest returns the active slot nearest to slot a and the distance.
+	nearest := func(a int) (int, float64) {
+		best, bestD := -1, math.Inf(1)
+		row := d[a*n : (a+1)*n]
+		for j := 0; j < n; j++ {
+			if j == a || !active[j] {
+				continue
+			}
+			if row[j] < bestD {
+				best, bestD = j, row[j]
+			}
+		}
+		return best, bestD
+	}
+
+	chain := make([]int, 0, n)
+	frozen := make([]bool, n) // slots with no finite-distance neighbour left
+
+	for remaining > 1 {
+		if len(chain) == 0 {
+			start := -1
+			for i := 0; i < n; i++ {
+				if active[i] && !frozen[i] {
+					start = i
+					break
+				}
+			}
+			if start == -1 {
+				break // only mutually forbidden clusters remain
+			}
+			chain = append(chain, start)
+		}
+		a := chain[len(chain)-1]
+		b, dist := nearest(a)
+		if b == -1 || math.IsInf(dist, 1) {
+			// a cannot merge with anything anymore.
+			frozen[a] = true
+			chain = chain[:len(chain)-1]
+			continue
+		}
+		if len(chain) >= 2 && b == chain[len(chain)-2] {
+			// Reciprocal nearest neighbours: merge a and b into slot a.
+			chain = chain[:len(chain)-2]
+			dend.Merges = append(dend.Merges, Merge{A: id[a], B: id[b], Distance: dist, New: nextID})
+			sa, sb := float64(size[a]), float64(size[b])
+			for k := 0; k < n; k++ {
+				if k == a || k == b || !active[k] {
+					continue
+				}
+				dak, dbk := d[a*n+k], d[b*n+k]
+				var nd float64
+				switch opts.Linkage {
+				case Single:
+					nd = math.Min(dak, dbk)
+				case Complete:
+					nd = math.Max(dak, dbk)
+				default: // Average
+					nd = (sa*dak + sb*dbk) / (sa + sb)
+				}
+				d[a*n+k] = nd
+				d[k*n+a] = nd
+			}
+			active[b] = false
+			size[a] += size[b]
+			id[a] = nextID
+			nextID++
+			remaining--
+			// The merge can unfreeze nothing (distances only grow to Inf),
+			// but it may have removed some slot's nearest neighbour; the
+			// chain discipline handles that because we re-derive neighbours
+			// on each step.
+			continue
+		}
+		chain = append(chain, b)
+	}
+	// NN-chain discovers reciprocal nearest neighbours in chain order, not
+	// in ascending merge distance. Cut applies merges sequentially, so
+	// restore the ascending order here. The stable sort keeps dependencies
+	// intact: for the reducible linkages offered, a merge consuming the
+	// output of another always has a distance >= its input's distance, and
+	// on ties the producing merge was appended first.
+	sort.SliceStable(dend.Merges, func(i, j int) bool {
+		return dend.Merges[i].Distance < dend.Merges[j].Distance
+	})
+	return dend
+}
+
+// Cut returns cluster assignments after performing merges until exactly k
+// clusters remain (or until the dendrogram runs out of merges, whichever
+// comes first). The result maps each leaf to a compact cluster label in
+// [0, actual); actual is the achieved number of clusters.
+func (d *Dendrogram) Cut(k int) (labels []int, actual int) {
+	if k < 1 {
+		k = 1
+	}
+	parent := make([]int, d.N+len(d.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	clusters := d.N
+	for _, mg := range d.Merges {
+		if clusters <= k {
+			break
+		}
+		ra, rb := find(mg.A), find(mg.B)
+		parent[ra] = mg.New
+		parent[rb] = mg.New
+		clusters--
+	}
+	labels = make([]int, d.N)
+	compact := map[int]int{}
+	for i := 0; i < d.N; i++ {
+		r := find(i)
+		if _, ok := compact[r]; !ok {
+			compact[r] = len(compact)
+		}
+		labels[i] = compact[r]
+	}
+	return labels, len(compact)
+}
+
+// Members groups leaf indices by label.
+func Members(labels []int, numClusters int) [][]int {
+	out := make([][]int, numClusters)
+	for i, l := range labels {
+		out[l] = append(out[l], i)
+	}
+	return out
+}

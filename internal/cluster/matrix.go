@@ -1,0 +1,76 @@
+// Package cluster implements the hierarchical clustering substrate used by
+// three parts of the reproduction: holistic column alignment (paper §3.3),
+// DUST's candidate-tuple selection (§5.2), and the CLT baseline (§6.4.2).
+// It provides agglomerative clustering with average/single/complete linkage
+// via the nearest-neighbour-chain algorithm, cannot-link constraints (no
+// two columns of the same table may align), silhouette-coefficient model
+// selection, and medoid extraction.
+package cluster
+
+import (
+	"math"
+
+	"dust/internal/vector"
+)
+
+// Matrix is a symmetric pairwise distance matrix stored in float32 to halve
+// memory for the larger tuple-clustering workloads.
+type Matrix struct {
+	n int
+	d []float32
+}
+
+// NewMatrix computes the pairwise distance matrix of items under dist.
+func NewMatrix(items []vector.Vec, dist vector.DistanceFunc) *Matrix {
+	n := len(items)
+	m := &Matrix{n: n, d: make([]float32, n*n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := float32(dist(items[i], items[j]))
+			m.d[i*n+j] = v
+			m.d[j*n+i] = v
+		}
+	}
+	return m
+}
+
+// NewMatrixFromFunc builds a distance matrix by calling f for every pair.
+func NewMatrixFromFunc(n int, f func(i, j int) float64) *Matrix {
+	m := &Matrix{n: n, d: make([]float32, n*n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := float32(f(i, j))
+			m.d[i*n+j] = v
+			m.d[j*n+i] = v
+		}
+	}
+	return m
+}
+
+// Len returns the number of items.
+func (m *Matrix) Len() int { return m.n }
+
+// At returns the distance between items i and j.
+func (m *Matrix) At(i, j int) float64 { return float64(m.d[i*m.n+j]) }
+
+// Medoid returns the member of the given item set with the minimum total
+// distance to the other members (ties break to the lowest index). It panics
+// on an empty set.
+func (m *Matrix) Medoid(members []int) int {
+	if len(members) == 0 {
+		panic("cluster: Medoid of empty set")
+	}
+	best := members[0]
+	bestSum := math.Inf(1)
+	for _, i := range members {
+		var sum float64
+		for _, j := range members {
+			sum += m.At(i, j)
+		}
+		if sum < bestSum {
+			bestSum = sum
+			best = i
+		}
+	}
+	return best
+}

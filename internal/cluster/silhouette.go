@@ -1,0 +1,81 @@
+package cluster
+
+import "math"
+
+// Silhouette returns the mean silhouette coefficient of the labelled
+// clustering over the distance matrix (Rousseeuw 1987, the quality measure
+// the paper uses to pick the number of column clusters, §3.3 and §6.2.1).
+// Items in singleton clusters contribute 0, matching scikit-learn.
+// The result is in [-1, 1]; higher is better. It returns NaN when the
+// clustering has fewer than 2 clusters or fewer than 2 items.
+func Silhouette(m *Matrix, labels []int, numClusters int) float64 {
+	n := m.Len()
+	if n < 2 || numClusters < 2 {
+		return math.NaN()
+	}
+	members := Members(labels, numClusters)
+	var total float64
+	for i := 0; i < n; i++ {
+		own := members[labels[i]]
+		if len(own) <= 1 {
+			continue // silhouette of a singleton is 0
+		}
+		// a = mean distance to own cluster (excluding self).
+		var a float64
+		for _, j := range own {
+			if j != i {
+				a += m.At(i, j)
+			}
+		}
+		a /= float64(len(own) - 1)
+		// b = min over other clusters of mean distance.
+		b := math.Inf(1)
+		for c, mem := range members {
+			if c == labels[i] || len(mem) == 0 {
+				continue
+			}
+			var s float64
+			for _, j := range mem {
+				s += m.At(i, j)
+			}
+			s /= float64(len(mem))
+			if s < b {
+				b = s
+			}
+		}
+		if mx := math.Max(a, b); mx > 0 {
+			total += (b - a) / mx
+		}
+	}
+	return total / float64(n)
+}
+
+// BestCut evaluates every cut of the dendrogram between minK and maxK
+// clusters and returns the labels, cluster count, and silhouette score of
+// the best-scoring cut. If no cut in range produces a valid silhouette the
+// cut at minK is returned with a NaN score.
+func BestCut(m *Matrix, d *Dendrogram, minK, maxK int) (labels []int, k int, score float64) {
+	if minK < 2 {
+		minK = 2
+	}
+	if maxK > d.N {
+		maxK = d.N
+	}
+	best := math.Inf(-1)
+	for kk := minK; kk <= maxK; kk++ {
+		l, actual := d.Cut(kk)
+		if actual < 2 {
+			continue
+		}
+		s := Silhouette(m, l, actual)
+		if !math.IsNaN(s) && s > best {
+			best = s
+			labels, k, score = l, actual, s
+		}
+	}
+	if labels == nil {
+		labels, k = d.Cut(minK)
+		score = math.NaN()
+	}
+	return labels, k, score
+}

@@ -1,0 +1,559 @@
+package datagen
+
+import "math/rand"
+
+// columnSpec describes one base-table column: its canonical header, the
+// synonym headers generated tables may rename it to, and whether it is
+// numeric (SANTOS-mode projections bias toward numeric columns, the
+// property the paper blames for Starmie's low recall on SANTOS).
+type columnSpec struct {
+	name     string
+	synonyms []string
+	numeric  bool
+}
+
+// domain is one topic: a schema, a coherent row generator, relationship
+// groups (column index sets that SANTOS-style generation keeps together to
+// preserve binary relationships), and an alternative "aspect" schema used
+// by the UGEN-style generator for same-topic non-unionable tables.
+type domain struct {
+	name      string
+	columns   []columnSpec
+	genRow    func(r *rand.Rand) []string
+	relGroups [][]int
+	alt       *altSchema
+}
+
+// altSchema is a same-topic, different-aspect schema (e.g. park events
+// rather than park facts). Tables generated from it share topic vocabulary
+// with the primary schema but are not unionable with it.
+type altSchema struct {
+	columns []columnSpec
+	genRow  func(r *rand.Rand) []string
+}
+
+var (
+	parkAdjs   = []string{"River", "West Lawn", "Hyde", "Chippewa", "Lawler", "Cedar", "Maple", "Granite", "Sunset", "Willow", "Prairie", "Harbor"}
+	parkNouns  = []string{"Park", "Gardens", "Green", "Commons", "Reserve", "Grove"}
+	paintWords = []string{"Northern", "Memory", "Silent", "Golden", "Broken", "Winter", "Crimson", "Quiet", "Restless", "Azure"}
+	paintSubj  = []string{"Lake", "Landscape", "Harbor", "Portrait", "Field", "Window", "Garden", "Mirror", "Horizon", "Bridge"}
+	media      = []string{"Oil on canvas", "Mixed media", "Watercolor", "Acrylic", "Tempera", "Charcoal", "Gouache"}
+	movieAdj   = []string{"Midnight", "Silent", "Broken", "Golden", "Last", "Hidden", "Electric", "Paper", "Crimson", "Forgotten"}
+	movieNoun  = []string{"Harbor", "Letters", "Empire", "Garden", "Protocol", "Station", "Summer", "Crossing", "Frontier", "Echo"}
+	genres     = []string{"Drama", "Comedy", "Thriller", "Documentary", "Animation", "Horror", "Romance", "Action"}
+	mythNames  = []string{"Chimera", "Siren", "Basilisk", "Minotaur", "Cyclops", "Griffon", "Succubus", "Hag", "Mugo", "Kasha", "Kraken", "Banshee", "Wendigo", "Selkie", "Djinn", "Golem"}
+	mythDefs   = []string{"Monstrous", "Half-human", "King serpent", "Human-bull", "One-eyed", "Winged lion", "Female demon", "Witch", "Forest dweller", "Fire-cart", "Sea terror", "Wailing spirit", "Hungering ghost", "Seal maiden", "Smokeless flame", "Clay servant"}
+	mythOrigin = []string{"Greek", "Greek, Roman", "Japanese", "Jewish, Christian", "Norse", "Celtic", "Algonquian", "Scottish", "Arabian", "Hebrew"}
+	cuisines   = []string{"Italian", "Nepali", "Ethiopian", "Mexican", "Sichuan", "Bavarian", "Provencal", "Kerala", "Tuscan", "Oaxacan"}
+	restNouns  = []string{"Table", "Kitchen", "Hearth", "Spoon", "Lantern", "Orchard", "Anchor", "Saffron", "Juniper", "Ember"}
+	schoolT    = []string{"Lincoln", "Riverside", "Oakwood", "Meadow", "Franklin", "Hillcrest", "Northgate", "Stonebridge", "Brookfield", "Ashford"}
+	bookNouns  = []string{"Shadows", "Rivers", "Letters", "Maps", "Gardens", "Storms", "Mirrors", "Journeys", "Harvests", "Lanterns"}
+	publishers = []string{"Harbor Press", "Northfield Books", "Calico House", "Meridian", "Bluestem", "Foxglove"}
+	birdSpec   = []string{"Northern Cardinal", "Atlantic Puffin", "Snowy Owl", "Scarlet Tanager", "Common Loon", "Arctic Tern", "House Finch", "Cedar Waxwing", "Great Egret", "Barn Swallow", "Osprey", "Sandhill Crane"}
+	birdFam    = []string{"Cardinalidae", "Alcidae", "Strigidae", "Thraupidae", "Gaviidae", "Laridae", "Fringillidae", "Bombycillidae", "Ardeidae", "Hirundinidae", "Pandionidae", "Gruidae"}
+	habitats   = []string{"Woodland", "Coastal cliffs", "Tundra", "Forest canopy", "Lakes", "Open ocean", "Urban", "Orchards", "Wetlands", "Farmland", "Rivers", "Prairie"}
+	parties    = []string{"Unity", "Progress", "Heritage", "Reform", "Meadow", "Civic"}
+	lineNames  = []string{"Blue", "Red", "Green", "Orange", "Central", "Circle", "Harbor", "Airport"}
+	statuses   = []string{"Least Concern", "Near Threatened", "Vulnerable", "Endangered"}
+)
+
+// domains returns the full topic corpus. Each call builds fresh closures;
+// generation order and seeds make everything deterministic.
+func domains() []domain {
+	return []domain{
+		{
+			name: "parks",
+			columns: []columnSpec{
+				{name: "Park Name", synonyms: []string{"Park", "Name of Park"}},
+				{name: "Supervisor", synonyms: []string{"Supervised by", "Park Supervisor"}},
+				{name: "City", synonyms: []string{"Park City", "Location City"}},
+				{name: "Country", synonyms: []string{"Park Country"}},
+				{name: "Phone", synonyms: []string{"Park Phone", "Contact"}},
+				{name: "Area Acres", synonyms: []string{"Acres", "Size Acres"}, numeric: true},
+				{name: "Opened", synonyms: []string{"Year Opened"}, numeric: true},
+				// Confusable columns: a second person and a second year
+				// column make alignment genuinely hard (as in real open
+				// data), keeping Table 1 scores off the ceiling.
+				{name: "Groundskeeper", synonyms: []string{"Maintained by"}},
+				{name: "Renovated", synonyms: []string{"Last Renovation"}, numeric: true},
+			},
+			genRow: func(r *rand.Rand) []string {
+				c := pick(r, cityRecords)
+				return []string{
+					compound(r, parkAdjs, parkNouns, ""),
+					person(r),
+					c.City + ", " + c.Region,
+					c.Country,
+					phone(r),
+					count(r, 5, 900),
+					year(r, 1890, 2015),
+					person(r),
+					year(r, 1995, 2024),
+				}
+			},
+			relGroups: [][]int{{0, 1}, {2, 3}, {5, 6}, {7, 8}},
+			alt: &altSchema{
+				columns: []columnSpec{
+					{name: "Event", synonyms: []string{"Park Event"}},
+					{name: "Park", synonyms: []string{"Held At"}},
+					{name: "Date", synonyms: []string{"Event Date"}},
+					{name: "Attendance", synonyms: []string{"Visitors"}, numeric: true},
+				},
+				genRow: func(r *rand.Rand) []string {
+					return []string{
+						pick(r, []string{"Summer Concert", "Cleanup Day", "Bird Walk", "Night Market", "Fun Run", "Art Fair"}),
+						compound(r, parkAdjs, parkNouns, ""),
+						date(r, 2015, 2024),
+						count(r, 40, 5000),
+					}
+				},
+			},
+		},
+		{
+			name: "paintings",
+			columns: []columnSpec{
+				{name: "Painting", synonyms: []string{"Title", "Artwork"}},
+				{name: "Artist", synonyms: []string{"Painter", "Created by"}},
+				{name: "Medium", synonyms: []string{"Materials"}},
+				{name: "Dimensions", synonyms: []string{"Size"}},
+				{name: "Date", synonyms: []string{"Year", "Created"}, numeric: true},
+				{name: "Country", synonyms: []string{"Origin Country"}},
+			},
+			genRow: func(r *rand.Rand) []string {
+				return []string{
+					compound(r, paintWords, paintSubj, ""),
+					person(r),
+					pick(r, media),
+					count(r, 20, 200) + " x " + count(r, 20, 300) + " cm",
+					year(r, 1850, 2022),
+					pick(r, countries),
+				}
+			},
+			relGroups: [][]int{{0, 1}, {2, 3}, {4, 5}},
+			alt: &altSchema{
+				columns: []columnSpec{
+					{name: "Exhibition", synonyms: []string{"Show"}},
+					{name: "Gallery", synonyms: []string{"Venue"}},
+					{name: "Opening", synonyms: []string{"Opens"}},
+					{name: "Works", synonyms: []string{"Piece Count"}, numeric: true},
+				},
+				genRow: func(r *rand.Rand) []string {
+					return []string{
+						compound(r, paintWords, paintSubj, "Retrospective"),
+						pick(r, restNouns) + " Gallery",
+						date(r, 2010, 2024),
+						count(r, 8, 120),
+					}
+				},
+			},
+		},
+		{
+			name: "movies",
+			columns: []columnSpec{
+				{name: "Title", synonyms: []string{"Movie", "Film Title"}},
+				{name: "Director", synonyms: []string{"Directed by"}},
+				{name: "Genre", synonyms: []string{"Category"}},
+				{name: "Language", synonyms: []string{"Languages", "Spoken Language"}},
+				{name: "Filming Location", synonyms: []string{"filming_locations", "Shot In"}},
+				{name: "Budget", synonyms: []string{"Production Budget"}, numeric: true},
+				{name: "Year", synonyms: []string{"Release Year"}, numeric: true},
+				{name: "Producer", synonyms: []string{"Produced by"}},
+			},
+			genRow: func(r *rand.Rand) []string {
+				c := pick(r, cityRecords)
+				// Sequel suffixes keep titles near-unique across a large
+				// base table (the real IMDB sample has ~500 distinct
+				// titles), which the §6.6 case study depends on.
+				title := compound(r, movieAdj, movieNoun, "")
+				switch r.Intn(5) {
+				case 1:
+					title += " II"
+				case 2:
+					title += " III"
+				case 3:
+					title += " Returns"
+				case 4:
+					title += " Rising"
+				}
+				return []string{
+					title,
+					person(r),
+					pick(r, genres),
+					pick(r, languages),
+					c.City + ", " + c.Country,
+					money(r, 5, 900),
+					year(r, 1985, 2024),
+					person(r),
+				}
+			},
+			relGroups: [][]int{{0, 1}, {3, 4}, {5, 6}, {0, 7}},
+			alt: &altSchema{
+				columns: []columnSpec{
+					{name: "Actor", synonyms: []string{"Cast Member"}},
+					{name: "Film", synonyms: []string{"Appears In"}},
+					{name: "Role", synonyms: []string{"Character"}},
+					{name: "Scenes", synonyms: []string{"Scene Count"}, numeric: true},
+				},
+				genRow: func(r *rand.Rand) []string {
+					return []string{
+						person(r),
+						compound(r, movieAdj, movieNoun, ""),
+						pick(r, []string{"Lead", "Support", "Cameo", "Narrator"}),
+						count(r, 1, 60),
+					}
+				},
+			},
+		},
+		{
+			name: "mythology",
+			columns: []columnSpec{
+				{name: "Myth", synonyms: []string{"Creature", "Being"}},
+				{name: "Definition", synonyms: []string{"Description"}},
+				{name: "Synonyms", synonyms: []string{"Also Known As"}},
+				{name: "Origin", synonyms: []string{"Culture", "Mythology"}},
+			},
+			genRow: func(r *rand.Rand) []string {
+				i := r.Intn(len(mythNames))
+				return []string{
+					mythNames[i],
+					mythDefs[i],
+					pick(r, mythNames) + ", " + pick(r, mythNames),
+					pick(r, mythOrigin),
+				}
+			},
+			relGroups: [][]int{{0, 1}, {2, 3}},
+			alt: &altSchema{
+				columns: []columnSpec{
+					{name: "Tale", synonyms: []string{"Story"}},
+					{name: "Teller", synonyms: []string{"Recorded by"}},
+					{name: "Region", synonyms: []string{"Told In"}},
+					{name: "Century", synonyms: []string{"Era"}, numeric: true},
+				},
+				genRow: func(r *rand.Rand) []string {
+					return []string{
+						"The " + pick(r, mythNames) + " of " + pick(r, cityRecords).City,
+						person(r),
+						pick(r, mythOrigin),
+						count(r, 8, 19),
+					}
+				},
+			},
+		},
+		{
+			name: "schools",
+			columns: []columnSpec{
+				{name: "School Name", synonyms: []string{"School", "Institution"}},
+				{name: "Principal", synonyms: []string{"Head", "Led by"}},
+				{name: "District", synonyms: []string{"School District"}},
+				{name: "City", synonyms: []string{"Town"}},
+				{name: "Country", synonyms: []string{"Nation"}},
+				{name: "Enrollment", synonyms: []string{"Students", "Pupil Count"}, numeric: true},
+				{name: "Vice Principal", synonyms: []string{"Deputy Head"}},
+				{name: "Founded", synonyms: []string{"Year Founded"}, numeric: true},
+			},
+			genRow: func(r *rand.Rand) []string {
+				c := pick(r, cityRecords)
+				return []string{
+					pick(r, schoolT) + " " + pick(r, []string{"Elementary", "Middle School", "High School", "Academy"}),
+					person(r),
+					pick(r, schoolT) + " District " + count(r, 1, 40),
+					c.City,
+					c.Country,
+					count(r, 120, 2800),
+					person(r),
+					year(r, 1880, 2005),
+				}
+			},
+			relGroups: [][]int{{0, 1}, {3, 4}, {2, 5}, {6, 7}},
+			alt: &altSchema{
+				columns: []columnSpec{
+					{name: "Course", synonyms: []string{"Class"}},
+					{name: "Teacher", synonyms: []string{"Taught by"}},
+					{name: "Room", synonyms: []string{"Classroom"}},
+					{name: "Seats", synonyms: []string{"Capacity"}, numeric: true},
+				},
+				genRow: func(r *rand.Rand) []string {
+					return []string{
+						pick(r, []string{"Algebra", "Biology", "World History", "Chemistry", "Literature", "Geometry"}) + " " + count(r, 1, 4),
+						person(r),
+						"Room " + count(r, 100, 399),
+						count(r, 12, 36),
+					}
+				},
+			},
+		},
+		{
+			name: "restaurants",
+			columns: []columnSpec{
+				{name: "Restaurant", synonyms: []string{"Name", "Establishment"}},
+				{name: "Cuisine", synonyms: []string{"Food Type"}},
+				{name: "Chef", synonyms: []string{"Head Chef"}},
+				{name: "City", synonyms: []string{"Located In"}},
+				{name: "Country", synonyms: []string{"Country Name"}},
+				{name: "Rating", synonyms: []string{"Stars"}, numeric: true},
+			},
+			genRow: func(r *rand.Rand) []string {
+				c := pick(r, cityRecords)
+				return []string{
+					"The " + pick(r, cuisines) + " " + pick(r, restNouns),
+					pick(r, cuisines),
+					person(r),
+					c.City,
+					c.Country,
+					count(r, 1, 5) + "." + count(r, 0, 9),
+				}
+			},
+			relGroups: [][]int{{0, 1}, {3, 4}},
+			alt: &altSchema{
+				columns: []columnSpec{
+					{name: "Dish", synonyms: []string{"Menu Item"}},
+					{name: "Served At", synonyms: []string{"Restaurant Name"}},
+					{name: "Price", synonyms: []string{"Cost"}, numeric: true},
+					{name: "Spice Level", synonyms: []string{"Heat"}},
+				},
+				genRow: func(r *rand.Rand) []string {
+					return []string{
+						pick(r, cuisines) + " " + pick(r, []string{"Stew", "Dumplings", "Flatbread", "Noodles", "Curry", "Roast"}),
+						"The " + pick(r, cuisines) + " " + pick(r, restNouns),
+						"$" + count(r, 6, 48),
+						pick(r, []string{"Mild", "Medium", "Hot", "Extra Hot"}),
+					}
+				},
+			},
+		},
+		{
+			name: "books",
+			columns: []columnSpec{
+				{name: "Title", synonyms: []string{"Book", "Book Title"}},
+				{name: "Author", synonyms: []string{"Written by"}},
+				{name: "Publisher", synonyms: []string{"Published by"}},
+				{name: "Genre", synonyms: []string{"Category"}},
+				{name: "Year", synonyms: []string{"Published", "Pub Year"}, numeric: true},
+				{name: "Language", synonyms: []string{"Written In"}},
+			},
+			genRow: func(r *rand.Rand) []string {
+				return []string{
+					"A " + pick(r, paintWords) + " of " + pick(r, bookNouns),
+					person(r),
+					pick(r, publishers),
+					pick(r, genres),
+					year(r, 1920, 2024),
+					pick(r, languages),
+				}
+			},
+			relGroups: [][]int{{0, 1}, {2, 4}, {3, 5}},
+			alt: &altSchema{
+				columns: []columnSpec{
+					{name: "Review", synonyms: []string{"Reviewed Title"}},
+					{name: "Critic", synonyms: []string{"Reviewer"}},
+					{name: "Outlet", synonyms: []string{"Published In"}},
+					{name: "Score", synonyms: []string{"Rating"}, numeric: true},
+				},
+				genRow: func(r *rand.Rand) []string {
+					return []string{
+						"A " + pick(r, paintWords) + " of " + pick(r, bookNouns),
+						person(r),
+						pick(r, publishers) + " Review",
+						count(r, 40, 100),
+					}
+				},
+			},
+		},
+		{
+			name: "birds",
+			columns: []columnSpec{
+				{name: "Species", synonyms: []string{"Bird", "Common Name"}},
+				{name: "Family", synonyms: []string{"Taxonomic Family"}},
+				{name: "Habitat", synonyms: []string{"Habitat Type"}},
+				{name: "Region", synonyms: []string{"Range"}},
+				{name: "Wingspan CM", synonyms: []string{"Wingspan"}, numeric: true},
+				{name: "Status", synonyms: []string{"Conservation Status"}},
+			},
+			genRow: func(r *rand.Rand) []string {
+				i := r.Intn(len(birdSpec))
+				return []string{
+					birdSpec[i],
+					birdFam[i],
+					pick(r, habitats),
+					pick(r, countries),
+					count(r, 18, 230),
+					pick(r, statuses),
+				}
+			},
+			relGroups: [][]int{{0, 1}, {2, 3}, {4, 5}},
+			alt: &altSchema{
+				columns: []columnSpec{
+					{name: "Sighting", synonyms: []string{"Observed Species"}},
+					{name: "Observer", synonyms: []string{"Spotted by"}},
+					{name: "Site", synonyms: []string{"Location"}},
+					{name: "Count", synonyms: []string{"Individuals"}, numeric: true},
+				},
+				genRow: func(r *rand.Rand) []string {
+					c := pick(r, cityRecords)
+					return []string{
+						pick(r, birdSpec),
+						person(r),
+						c.City + " wetlands",
+						count(r, 1, 80),
+					}
+				},
+			},
+		},
+		{
+			name: "elections",
+			columns: []columnSpec{
+				{name: "Candidate", synonyms: []string{"Name", "Running"}},
+				{name: "Party", synonyms: []string{"Political Party"}},
+				{name: "District", synonyms: []string{"Constituency"}},
+				{name: "Votes", synonyms: []string{"Vote Count"}, numeric: true},
+				{name: "Year", synonyms: []string{"Election Year"}, numeric: true},
+				{name: "Country", synonyms: []string{"Held In"}},
+			},
+			genRow: func(r *rand.Rand) []string {
+				c := pick(r, cityRecords)
+				return []string{
+					person(r),
+					pick(r, parties) + " Party",
+					c.City + " " + count(r, 1, 30),
+					count(r, 900, 220000),
+					year(r, 1996, 2024),
+					c.Country,
+				}
+			},
+			relGroups: [][]int{{0, 1}, {2, 5}, {3, 4}},
+			alt: &altSchema{
+				columns: []columnSpec{
+					{name: "Measure", synonyms: []string{"Ballot Measure"}},
+					{name: "Topic", synonyms: []string{"Subject"}},
+					{name: "Support Pct", synonyms: []string{"Yes Share"}, numeric: true},
+					{name: "Outcome", synonyms: []string{"Result"}},
+				},
+				genRow: func(r *rand.Rand) []string {
+					return []string{
+						"Measure " + count(r, 1, 80),
+						pick(r, []string{"Parks funding", "School bonds", "Transit", "Housing", "Libraries"}),
+						count(r, 30, 79),
+						pick(r, []string{"Passed", "Failed"}),
+					}
+				},
+			},
+		},
+		{
+			name: "stations",
+			columns: []columnSpec{
+				{name: "Station", synonyms: []string{"Stop", "Station Name"}},
+				{name: "Line", synonyms: []string{"Transit Line"}},
+				{name: "City", synonyms: []string{"Served City"}},
+				{name: "Country", synonyms: []string{"In Country"}},
+				{name: "Platforms", synonyms: []string{"Platform Count"}, numeric: true},
+				{name: "Opened", synonyms: []string{"Opening Year"}, numeric: true},
+			},
+			genRow: func(r *rand.Rand) []string {
+				c := pick(r, cityRecords)
+				return []string{
+					c.City + " " + pick(r, []string{"Central", "North", "South", "Junction", "Terminal"}),
+					pick(r, lineNames) + " Line",
+					c.City,
+					c.Country,
+					count(r, 1, 12),
+					year(r, 1880, 2020),
+				}
+			},
+			relGroups: [][]int{{0, 2}, {2, 3}, {4, 5}},
+			alt: &altSchema{
+				columns: []columnSpec{
+					{name: "Departure", synonyms: []string{"Train"}},
+					{name: "From", synonyms: []string{"Origin"}},
+					{name: "To", synonyms: []string{"Destination"}},
+					{name: "Minutes", synonyms: []string{"Duration"}, numeric: true},
+				},
+				genRow: func(r *rand.Rand) []string {
+					return []string{
+						pick(r, lineNames) + " " + count(r, 100, 999),
+						pick(r, cityRecords).City,
+						pick(r, cityRecords).City,
+						count(r, 12, 300),
+					}
+				},
+			},
+		},
+		{
+			name: "hospitals",
+			columns: []columnSpec{
+				{name: "Hospital", synonyms: []string{"Facility", "Hospital Name"}},
+				{name: "Director", synonyms: []string{"Run by", "Administrator"}},
+				{name: "Beds", synonyms: []string{"Bed Count"}, numeric: true},
+				{name: "City", synonyms: []string{"Municipality"}},
+				{name: "Country", synonyms: []string{"Located Country"}},
+				{name: "Founded", synonyms: []string{"Established"}, numeric: true},
+			},
+			genRow: func(r *rand.Rand) []string {
+				c := pick(r, cityRecords)
+				return []string{
+					pick(r, schoolT) + " " + pick(r, []string{"General", "Memorial", "Regional", "University"}) + " Hospital",
+					person(r),
+					count(r, 40, 1200),
+					c.City,
+					c.Country,
+					year(r, 1870, 2010),
+				}
+			},
+			relGroups: [][]int{{0, 1}, {3, 4}, {2, 5}},
+			alt: &altSchema{
+				columns: []columnSpec{
+					{name: "Ward", synonyms: []string{"Unit"}},
+					{name: "Hospital Name", synonyms: []string{"At Facility"}},
+					{name: "Nurses", synonyms: []string{"Nursing Staff"}, numeric: true},
+					{name: "Floor", synonyms: []string{"Level"}, numeric: true},
+				},
+				genRow: func(r *rand.Rand) []string {
+					return []string{
+						pick(r, []string{"Cardiology", "Oncology", "Pediatrics", "Maternity", "Neurology", "Orthopedics"}),
+						pick(r, schoolT) + " General Hospital",
+						count(r, 4, 60),
+						count(r, 1, 12),
+					}
+				},
+			},
+		},
+		{
+			name: "bridges",
+			columns: []columnSpec{
+				{name: "Bridge", synonyms: []string{"Bridge Name", "Crossing"}},
+				{name: "Spans", synonyms: []string{"Crosses"}},
+				{name: "Length M", synonyms: []string{"Length", "Meters"}, numeric: true},
+				{name: "City", synonyms: []string{"Nearest City"}},
+				{name: "Country", synonyms: []string{"Country Located"}},
+				{name: "Built", synonyms: []string{"Completed"}, numeric: true},
+			},
+			genRow: func(r *rand.Rand) []string {
+				c := pick(r, cityRecords)
+				return []string{
+					pick(r, parkAdjs) + " " + pick(r, []string{"Bridge", "Viaduct", "Crossing", "Span"}),
+					pick(r, []string{"Miller River", "East Channel", "Canyon Creek", "Harbor Inlet", "Rail Yard", "Green Valley"}),
+					count(r, 40, 3200),
+					c.City,
+					c.Country,
+					year(r, 1860, 2018),
+				}
+			},
+			relGroups: [][]int{{0, 1}, {3, 4}, {2, 5}},
+			alt: &altSchema{
+				columns: []columnSpec{
+					{name: "Inspection", synonyms: []string{"Inspection ID"}},
+					{name: "Structure", synonyms: []string{"Bridge Inspected"}},
+					{name: "Inspector", synonyms: []string{"Checked by"}},
+					{name: "Condition", synonyms: []string{"State"}},
+				},
+				genRow: func(r *rand.Rand) []string {
+					return []string{
+						"INSP-" + count(r, 1000, 9999),
+						pick(r, parkAdjs) + " Bridge",
+						person(r),
+						pick(r, []string{"Good", "Fair", "Poor", "Critical"}),
+					}
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,247 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"dust/internal/table"
+)
+
+// TuplePair is one fine-tuning data point (paper §4, "Dataset
+// Preparation"): two raw tuples with their own headers and a unionability
+// label. Positive pairs come from the same table or two unionable tables;
+// negative pairs come from two non-unionable tables.
+type TuplePair struct {
+	Headers1, Values1 []string
+	Headers2, Values2 []string
+	Unionable         bool
+}
+
+// PairDataset is the balanced, leak-free train/test/validation split of
+// tuple pairs (paper: 70/15/15).
+type PairDataset struct {
+	Train, Test, Val []TuplePair
+}
+
+// Pairs builds a balanced pair dataset of the given total size from the
+// benchmark's lake tables. Leakage is prevented structurally: the lake
+// tables of every base are partitioned 70/15/15 across the splits, and a
+// pair only ever combines tables from one split, so no table (hence no
+// tuple) is shared between train, test, and validation.
+func Pairs(b *Benchmark, total int, seed int64) PairDataset {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Group lake tables by base.
+	byBase := map[string][]*table.Table{}
+	var bases []string
+	for _, t := range b.Lake.Tables() {
+		if t.NumRows() == 0 {
+			continue
+		}
+		if _, ok := byBase[t.Base]; !ok {
+			bases = append(bases, t.Base)
+		}
+		byBase[t.Base] = append(byBase[t.Base], t)
+	}
+
+	// Partition each base's tables across the three splits.
+	type split struct{ byBase map[string][]*table.Table }
+	splits := [3]split{
+		{map[string][]*table.Table{}},
+		{map[string][]*table.Table{}},
+		{map[string][]*table.Table{}},
+	}
+	for _, base := range bases {
+		tabs := byBase[base]
+		rng.Shuffle(len(tabs), func(i, j int) { tabs[i], tabs[j] = tabs[j], tabs[i] })
+		// At least one table per split when possible; remainder to train.
+		nTest := len(tabs) * 15 / 100
+		nVal := len(tabs) * 15 / 100
+		if len(tabs) >= 3 {
+			if nTest == 0 {
+				nTest = 1
+			}
+			if nVal == 0 {
+				nVal = 1
+			}
+		}
+		nTrain := len(tabs) - nTest - nVal
+		splits[0].byBase[base] = tabs[:nTrain]
+		splits[1].byBase[base] = tabs[nTrain : nTrain+nTest]
+		splits[2].byBase[base] = tabs[nTrain+nTest:]
+	}
+
+	sizes := [3]int{total * 70 / 100, total * 15 / 100, total * 15 / 100}
+	var out PairDataset
+	dst := [3]*[]TuplePair{&out.Train, &out.Test, &out.Val}
+	for s := 0; s < 3; s++ {
+		*dst[s] = samplePairs(splits[s].byBase, bases, sizes[s], rng)
+	}
+	return out
+}
+
+// samplePairs draws size pairs (balanced positive/negative) from the given
+// table partition.
+func samplePairs(byBase map[string][]*table.Table, bases []string, size int, rng *rand.Rand) []TuplePair {
+	var usable []string
+	for _, b := range bases {
+		if len(byBase[b]) > 0 {
+			usable = append(usable, b)
+		}
+	}
+	if len(usable) < 2 {
+		return nil
+	}
+	randTuple := func(t *table.Table) ([]string, []string) {
+		r := rng.Intn(t.NumRows())
+		return t.Headers(), t.Row(r)
+	}
+	pairs := make([]TuplePair, 0, size)
+	for len(pairs) < size {
+		if len(pairs)%2 == 0 {
+			// Positive: same base (possibly the same table).
+			base := usable[rng.Intn(len(usable))]
+			tabs := byBase[base]
+			t1 := tabs[rng.Intn(len(tabs))]
+			t2 := tabs[rng.Intn(len(tabs))]
+			h1, v1 := randTuple(t1)
+			h2, v2 := randTuple(t2)
+			pairs = append(pairs, TuplePair{h1, v1, h2, v2, true})
+		} else {
+			// Negative: two different bases.
+			i := rng.Intn(len(usable))
+			j := rng.Intn(len(usable) - 1)
+			if j >= i {
+				j++
+			}
+			t1 := byBase[usable[i]][rng.Intn(len(byBase[usable[i]]))]
+			t2 := byBase[usable[j]][rng.Intn(len(byBase[usable[j]]))]
+			h1, v1 := randTuple(t1)
+			h2, v2 := randTuple(t2)
+			pairs = append(pairs, TuplePair{h1, v1, h2, v2, false})
+		}
+	}
+	return pairs
+}
+
+// EntityPairs builds an entity-matching dataset for the Ditto simulator:
+// positive pairs are two derived copies of the same base row (found in two
+// different lake tables of the same base), negative pairs are two different
+// rows — including different rows of the same base, which a unionability
+// model would call positive. Training on these labels and evaluating on
+// unionability reproduces Ditto's partial-transfer accuracy in Fig. 6.
+func EntityPairs(b *Benchmark, total int, seed int64) []TuplePair {
+	rng := rand.New(rand.NewSource(seed))
+
+	// index[base][baseRow] = list of (table, row) holding that entity.
+	index := map[string]map[int][]entityLoc{}
+	var bases []string
+	for _, t := range b.Lake.Tables() {
+		rows, ok := b.RowOrigins[t.Name]
+		if !ok {
+			continue
+		}
+		if _, seen := index[t.Base]; !seen {
+			index[t.Base] = map[int][]entityLoc{}
+			bases = append(bases, t.Base)
+		}
+		for r, baseRow := range rows {
+			index[t.Base][baseRow] = append(index[t.Base][baseRow], entityLoc{t, r})
+		}
+	}
+	// Entities appearing at least twice, per base.
+	multi := map[string][]int{}
+	for base, m := range index {
+		for baseRow, locs := range m {
+			if len(locs) >= 2 {
+				multi[base] = append(multi[base], baseRow)
+			}
+		}
+	}
+	var usable []string
+	for _, base := range bases {
+		if len(multi[base]) > 0 {
+			usable = append(usable, base)
+		}
+	}
+	if len(usable) == 0 {
+		return nil
+	}
+
+	pairs := make([]TuplePair, 0, total)
+	for len(pairs) < total {
+		if len(pairs)%2 == 0 {
+			base := usable[rng.Intn(len(usable))]
+			rowIDs := multi[base]
+			locs := index[base][rowIDs[rng.Intn(len(rowIDs))]]
+			a := locs[rng.Intn(len(locs))]
+			c := locs[rng.Intn(len(locs))]
+			pairs = append(pairs, TuplePair{
+				a.t.Headers(), a.t.Row(a.row),
+				c.t.Headers(), c.t.Row(c.row),
+				true,
+			})
+		} else {
+			// Negative: two distinct entities. Mostly same-base (hard
+			// negatives, the entity-matching norm): a model trained on
+			// these learns to suppress domain/header signals, which is
+			// exactly why Ditto transfers only partially to unionability
+			// (Fig. 6).
+			base1 := bases[rng.Intn(len(bases))]
+			base2 := base1
+			if rng.Float64() < 0.45 {
+				base2 = bases[rng.Intn(len(bases))]
+			}
+			l1 := randomLoc(index[base1], rng)
+			l2 := randomLoc(index[base2], rng)
+			if base1 == base2 && sameEntity(b, l1, l2) {
+				continue
+			}
+			pairs = append(pairs, TuplePair{
+				l1.t.Headers(), l1.t.Row(l1.row),
+				l2.t.Headers(), l2.t.Row(l2.row),
+				false,
+			})
+		}
+	}
+	return pairs
+}
+
+// entityLoc addresses one derived copy of a base row.
+type entityLoc struct {
+	t   *table.Table
+	row int
+}
+
+func randomLoc(m map[int][]entityLoc, rng *rand.Rand) entityLoc {
+	// Deterministic iteration: collect keys and sort-free pick by reservoir
+	// would need ordering; instead pick via the smallest key offset.
+	n := 0
+	for _, locs := range m {
+		n += len(locs)
+	}
+	k := rng.Intn(n)
+	// Map iteration order is randomized by the runtime, which would break
+	// determinism, so walk keys in ascending order.
+	maxKey := -1
+	for key := range m {
+		if key > maxKey {
+			maxKey = key
+		}
+	}
+	for key := 0; key <= maxKey; key++ {
+		locs, ok := m[key]
+		if !ok {
+			continue
+		}
+		if k < len(locs) {
+			return locs[k]
+		}
+		k -= len(locs)
+	}
+	panic("datagen: randomLoc: unreachable")
+}
+
+func sameEntity(b *Benchmark, a, c entityLoc) bool {
+	return a.t.Base == c.t.Base &&
+		b.RowOrigins[a.t.Name][a.row] == b.RowOrigins[c.t.Name][c.row]
+}

@@ -1,0 +1,96 @@
+// Package diversify implements the tuple diversification layer of the
+// reproduction: the paper's DUST algorithm (prune -> cluster -> re-rank,
+// Algorithm 2, §5) and the baselines of the evaluation — GMC and GNE
+// (Vieira et al., MMR-based max-sum diversification), CLT (cluster
+// medoids), SWAP, a Max-Min greedy, and random selection — together with
+// the two evaluation metrics of §5.4 (Average Diversity and Min Diversity).
+package diversify
+
+import (
+	"dust/internal/vector"
+)
+
+// Problem is one diversification instance: embedded query tuples, embedded
+// candidate data lake tuples, the number of outputs k, and the tuple
+// distance function (cosine distance throughout the paper's experiments).
+type Problem struct {
+	Query  []vector.Vec
+	Tuples []vector.Vec
+	// Groups optionally assigns each tuple a provenance group (its source
+	// table); DUST's pruning ranks tuples against their group's mean
+	// embedding (§5.1). When nil, all tuples form one group.
+	Groups []int
+	K      int
+	Dist   vector.DistanceFunc
+}
+
+// normalized returns the problem with defaults filled in.
+func (p Problem) normalized() Problem {
+	if p.Dist == nil {
+		p.Dist = vector.CosineDistance
+	}
+	if p.K > len(p.Tuples) {
+		p.K = len(p.Tuples)
+	}
+	if p.K < 0 {
+		p.K = 0
+	}
+	return p
+}
+
+// Algorithm selects k diverse tuple indices for a problem.
+type Algorithm interface {
+	Name() string
+	Select(p Problem) []int
+}
+
+// noveltyScores computes each tuple's novelty: its minimum distance to any
+// query tuple — the quantity DUST re-ranks by (§5.3).
+func noveltyScores(p Problem) []float64 {
+	out := make([]float64, len(p.Tuples))
+	for i, t := range p.Tuples {
+		minD := 0.0
+		for qi, q := range p.Query {
+			d := p.Dist(t, q)
+			if qi == 0 || d < minD {
+				minD = d
+			}
+		}
+		out[i] = minD
+	}
+	return out
+}
+
+// relevanceScores computes IR-style relevance: similarity to the query
+// (1 - minDist/2, mapping cosine distance in [0,2] to [0,1]). The MMR
+// baselines (GMC, GNE, SWAP) trade THIS off against diversity — relevance
+// and diversity are "opposite dimensions" in that literature (§4), which is
+// exactly why they lose ground to DUST on novelty-driven discovery.
+func relevanceScores(p Problem) []float64 {
+	out := noveltyScores(p)
+	for i, d := range out {
+		s := 1 - d/2
+		if s < 0 {
+			s = 0
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// avgQueryDistance computes each tuple's mean distance to the query tuples
+// (DUST's tie-breaking score, §5.3).
+func avgQueryDistance(p Problem) []float64 {
+	avg := make([]float64, len(p.Tuples))
+	if len(p.Query) == 0 {
+		return avg
+	}
+	for i, t := range p.Tuples {
+		var s float64
+		for _, q := range p.Query {
+			s += p.Dist(t, q)
+		}
+		avg[i] = s / float64(len(p.Query))
+	}
+	return avg
+}

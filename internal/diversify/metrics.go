@@ -1,0 +1,72 @@
+package diversify
+
+import (
+	"math"
+
+	"dust/internal/vector"
+)
+
+// AverageDiversity is Equation 1 of the paper: the sum of query-to-selected
+// and selected-to-selected distances, normalized by n+k (the paper's
+// denominator; query-to-query distances are constant across methods and
+// excluded).
+func AverageDiversity(query, selected []vector.Vec, dist vector.DistanceFunc) float64 {
+	if dist == nil {
+		dist = vector.CosineDistance
+	}
+	n, k := len(query), len(selected)
+	if n+k == 0 || k == 0 {
+		return 0
+	}
+	var sum float64
+	for _, q := range query {
+		for _, t := range selected {
+			sum += dist(q, t)
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			sum += dist(selected[i], selected[j])
+		}
+	}
+	return sum / float64(n+k)
+}
+
+// MinDiversity is Equation 2: the minimum over all query-to-selected and
+// selected-to-selected distances.
+func MinDiversity(query, selected []vector.Vec, dist vector.DistanceFunc) float64 {
+	if dist == nil {
+		dist = vector.CosineDistance
+	}
+	if len(selected) == 0 {
+		return 0
+	}
+	min := math.Inf(1)
+	for _, q := range query {
+		for _, t := range selected {
+			if d := dist(q, t); d < min {
+				min = d
+			}
+		}
+	}
+	for i := 0; i < len(selected); i++ {
+		for j := i + 1; j < len(selected); j++ {
+			if d := dist(selected[i], selected[j]); d < min {
+				min = d
+			}
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// Gather returns the embeddings at the given indices.
+func Gather(vs []vector.Vec, idx []int) []vector.Vec {
+	out := make([]vector.Vec, len(idx))
+	for i, x := range idx {
+		out[i] = vs[x]
+	}
+	return out
+}

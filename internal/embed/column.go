@@ -1,0 +1,99 @@
+package embed
+
+import (
+	"dust/internal/table"
+	"dust/internal/tokenize"
+	"dust/internal/vector"
+)
+
+// TokenBudget is the maximum number of representative tokens a column-level
+// encoder feeds into the model, mirroring the 512-token input limit of the
+// paper's language models (§6.2.3).
+const TokenBudget = 512
+
+// ColumnEncoder embeds one table column into a vector. The corpus carries
+// document frequencies across all columns being aligned, enabling TF-IDF
+// token selection.
+type ColumnEncoder interface {
+	Name() string
+	Dim() int
+	EncodeColumn(col *table.Column, corpus *tokenize.Corpus) vector.Vec
+}
+
+// CellLevel embeds each cell value independently and averages the cell
+// embeddings (the paper's "Cell-level" serialization variant).
+type CellLevel struct {
+	Model *Encoder
+}
+
+// Name returns "cell/<model>".
+func (c CellLevel) Name() string { return "cell/" + c.Model.Name() }
+
+// Dim returns the model dimension.
+func (c CellLevel) Dim() int { return c.Model.Dim() }
+
+// EncodeColumn implements ColumnEncoder.
+func (c CellLevel) EncodeColumn(col *table.Column, _ *tokenize.Corpus) vector.Vec {
+	acc := make(vector.Vec, c.Model.Dim())
+	n := 0
+	for _, v := range col.Values {
+		if v == table.Null {
+			continue
+		}
+		vecAddScaled(acc, c.Model.EncodeText(v), 1)
+		n++
+	}
+	if n == 0 {
+		// An all-null column still needs a stable location in space.
+		return c.Model.EncodeTokens(nil)
+	}
+	return vector.Normalize(acc)
+}
+
+// ColumnLevel concatenates the column's values into one pseudo-sentence,
+// selects the TokenBudget most representative tokens by TF-IDF, and encodes
+// them in a single model call (the paper's "Column-level" variant, which
+// Table 1 shows dominates cell-level for language models).
+type ColumnLevel struct {
+	Model *Encoder
+}
+
+// Name returns "column/<model>".
+func (c ColumnLevel) Name() string { return "column/" + c.Model.Name() }
+
+// Dim returns the model dimension.
+func (c ColumnLevel) Dim() int { return c.Model.Dim() }
+
+// EncodeColumn implements ColumnEncoder.
+func (c ColumnLevel) EncodeColumn(col *table.Column, corpus *tokenize.Corpus) vector.Vec {
+	tokens := ColumnTokens(col)
+	if corpus != nil && len(tokens) > TokenBudget {
+		tokens = corpus.TopK(tokens, TokenBudget)
+	}
+	return c.Model.EncodeTokens(tokens)
+}
+
+// ColumnTokens tokenizes every non-null value of a column, including the
+// header (tagged so it cannot collide with values). Header tokens are
+// repeated: language models attend strongly to the header when judging a
+// column's meaning, and two columns with disjoint value instances (e.g.
+// two supervisor columns naming different people) must still be able to
+// align on header semantics alone.
+func ColumnTokens(col *table.Column) []string {
+	var out []string
+	for _, t := range tokenize.Words(col.Name) {
+		// The "H:" prefix marks a column-context header token: the encoder
+		// gives it a strong synonym-class weight and keeps it out of the
+		// bigram stream (see Encoder.EncodeTokens). Emitted three times so
+		// header semantics survive even for small columns.
+		ht := "H:" + t
+		out = append(out, ht, ht, ht)
+	}
+	for _, v := range col.Values {
+		if v == table.Null {
+			continue
+		}
+		out = append(out, tokenize.Words(v)...)
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package embed
+
+import (
+	"math"
+	"testing"
+
+	"dust/internal/table"
+	"dust/internal/tokenize"
+	"dust/internal/vector"
+)
+
+func TestEncodersDeterministic(t *testing.T) {
+	for _, mk := range []func(...Option) *Encoder{NewFastText, NewGlove, NewBERT, NewRoBERTa, NewSBERT} {
+		e := mk()
+		a := e.EncodeText("River Park USA")
+		b := e.EncodeText("River Park USA")
+		if vector.Euclidean(a, b) != 0 {
+			t.Errorf("%s: same input produced different embeddings", e.Name())
+		}
+	}
+}
+
+func TestEncodersUnitNorm(t *testing.T) {
+	e := NewRoBERTa()
+	v := e.EncodeText("some text here")
+	if math.Abs(vector.Norm(v)-1) > 1e-9 {
+		t.Errorf("embedding norm = %v, want 1", vector.Norm(v))
+	}
+	empty := e.EncodeTokens(nil)
+	if math.Abs(vector.Norm(empty)-1) > 1e-9 {
+		t.Errorf("empty-input embedding norm = %v, want 1", vector.Norm(empty))
+	}
+}
+
+func TestContentGeometry(t *testing.T) {
+	// Without anisotropy, shared-vocabulary texts must be much more similar
+	// than disjoint-vocabulary texts.
+	e := NewFastText()
+	park1 := e.EncodeText("River Park Fresno USA")
+	park2 := e.EncodeText("River Park Chicago USA")
+	painting := e.EncodeText("Oil on canvas 2006")
+	simPark := vector.Cosine(park1, park2)
+	simCross := vector.Cosine(park1, painting)
+	if simPark <= simCross+0.2 {
+		t.Errorf("shared-vocab similarity %v not clearly above cross-topic %v", simPark, simCross)
+	}
+}
+
+func TestAnisotropyInflatesCosine(t *testing.T) {
+	// BERT-sim: any two texts look similar in cosine space (the Fig. 6
+	// coin-toss phenomenon) ...
+	bert := NewBERT()
+	a := bert.EncodeText("River Park Fresno USA")
+	b := bert.EncodeText("Northern Lake Oil on canvas")
+	if sim := vector.Cosine(a, b); sim < 0.75 {
+		t.Errorf("BERT-sim cross-topic cosine = %v, want anisotropy-inflated > 0.75", sim)
+	}
+	// ... while the word models keep unrelated texts far apart.
+	ft := NewFastText()
+	a2 := ft.EncodeText("River Park Fresno USA")
+	b2 := ft.EncodeText("Northern Lake Oil on canvas")
+	if sim := vector.Cosine(a2, b2); sim > 0.6 {
+		t.Errorf("FastText cross-topic cosine = %v, want < 0.6", sim)
+	}
+}
+
+func TestAnisotropyPreservesRelativeEuclidean(t *testing.T) {
+	// The shared component must not destroy relative euclidean structure:
+	// same-topic columns stay closer than cross-topic columns even for the
+	// anisotropic models (this is what keeps Table 1 alignment working).
+	e := NewRoBERTa()
+	park1 := e.EncodeText("river park west lawn hyde park park park")
+	park2 := e.EncodeText("chippewa park lawler park river park")
+	paint := e.EncodeText("oil canvas mixed media 91 121 centimeters")
+	dSame := vector.Euclidean(park1, park2)
+	dCross := vector.Euclidean(park1, paint)
+	if dSame >= dCross {
+		t.Errorf("euclidean same-topic %v >= cross-topic %v", dSame, dCross)
+	}
+}
+
+func TestWithOptions(t *testing.T) {
+	e := NewBERT(WithDim(32), WithAnisotropy(0), WithNoise(0))
+	if e.Dim() != 32 {
+		t.Errorf("Dim = %d, want 32", e.Dim())
+	}
+	v := e.EncodeText("hello world")
+	if len(v) != 32 {
+		t.Errorf("embedding len = %d, want 32", len(v))
+	}
+}
+
+func TestSerializeTuple(t *testing.T) {
+	s := SerializeTuple(
+		[]string{"Park Name", "Supervisor", "City", "Country"},
+		[]string{"River Park", "Vera Onate", "Fresno", "USA"})
+	want := "[CLS] Park Name River Park [SEP] Supervisor Vera Onate [SEP] City Fresno [SEP] Country USA [SEP]"
+	if s != want {
+		t.Errorf("SerializeTuple = %q, want %q", s, want)
+	}
+}
+
+func TestSerializeTupleSkipsNulls(t *testing.T) {
+	// Example 4: the Chippewa Park tuple serializes only the aligned
+	// columns; null cells are dropped together with their headers.
+	s := SerializeTuple(
+		[]string{"Park Name", "Supervisor", "City", "Country"},
+		[]string{"Chippewa Park", "", "Brandon, MN", "USA"})
+	want := "[CLS] Park Name Chippewa Park [SEP] City Brandon, MN [SEP] Country USA [SEP]"
+	if s != want {
+		t.Errorf("SerializeTuple = %q, want %q", s, want)
+	}
+}
+
+func TestTupleTokensTagHeaders(t *testing.T) {
+	toks := TupleTokens([]string{"Park"}, []string{"park"})
+	if len(toks) != 2 || toks[0] != "h:park" || toks[1] != "park" {
+		t.Errorf("TupleTokens = %v, want [h:park park]", toks)
+	}
+}
+
+func TestEncodeTupleSensitiveToValues(t *testing.T) {
+	e := NewSBERT()
+	h := []string{"Park Name", "Country"}
+	a := e.EncodeTuple(h, []string{"River Park", "USA"})
+	b := e.EncodeTuple(h, []string{"River Park", "USA"})
+	c := e.EncodeTuple(h, []string{"Hyde Park", "UK"})
+	if vector.Euclidean(a, b) != 0 {
+		t.Error("identical tuples embedded differently")
+	}
+	if vector.Euclidean(a, c) == 0 {
+		t.Error("different tuples embedded identically")
+	}
+}
+
+func TestCellLevelColumnEncoder(t *testing.T) {
+	col := &table.Column{Name: "Country", Values: []string{"USA", "USA", "UK"}}
+	enc := CellLevel{Model: NewFastText()}
+	v := enc.EncodeColumn(col, nil)
+	if len(v) != enc.Dim() {
+		t.Fatalf("dim = %d, want %d", len(v), enc.Dim())
+	}
+	if enc.Name() != "cell/fasttext" {
+		t.Errorf("Name = %q", enc.Name())
+	}
+	// All-null column still embeds.
+	nullCol := &table.Column{Name: "x", Values: []string{table.Null, table.Null}}
+	nv := enc.EncodeColumn(nullCol, nil)
+	if math.Abs(vector.Norm(nv)-1) > 1e-9 {
+		t.Error("all-null column embedding not unit norm")
+	}
+}
+
+func TestColumnLevelUsesBudget(t *testing.T) {
+	// Build a column whose token count exceeds the budget and check the
+	// encoder still produces a stable vector.
+	vals := make([]string, 0, 600)
+	for i := 0; i < 600; i++ {
+		vals = append(vals, "value"+string(rune('a'+i%26))+"x"+string(rune('a'+(i/26)%26)))
+	}
+	col := &table.Column{Name: "big", Values: vals}
+	var corpus tokenize.Corpus
+	corpus.AddDocument(ColumnTokens(col))
+	enc := ColumnLevel{Model: NewRoBERTa()}
+	v1 := enc.EncodeColumn(col, &corpus)
+	v2 := enc.EncodeColumn(col, &corpus)
+	if vector.Euclidean(v1, v2) != 0 {
+		t.Error("column-level encoding nondeterministic")
+	}
+}
+
+func TestColumnLevelSeparatesTopics(t *testing.T) {
+	parks1 := &table.Column{Name: "Park Name", Values: []string{"River Park", "West Lawn Park", "Hyde Park"}}
+	parks2 := &table.Column{Name: "Park Name", Values: []string{"Chippewa Park", "Lawler Park", "River Park"}}
+	paint := &table.Column{Name: "Painting", Values: []string{"Northern Lake", "Memory Landscape 2"}}
+	enc := ColumnLevel{Model: NewRoBERTa()}
+	p1 := enc.EncodeColumn(parks1, nil)
+	p2 := enc.EncodeColumn(parks2, nil)
+	pt := enc.EncodeColumn(paint, nil)
+	if vector.Euclidean(p1, p2) >= vector.Euclidean(p1, pt) {
+		t.Errorf("same-topic columns farther (%v) than cross-topic (%v)",
+			vector.Euclidean(p1, p2), vector.Euclidean(p1, pt))
+	}
+}

@@ -1,0 +1,66 @@
+package embed
+
+import (
+	"strings"
+
+	"dust/internal/tokenize"
+)
+
+// BERT-style marker tokens used by the paper's serialization (§4).
+const (
+	CLS = "[CLS]"
+	SEP = "[SEP]"
+)
+
+// SerializeTuple renders a tuple as the paper's Ser(t) string:
+//
+//	[CLS] c1 v1 [SEP] c2 v2 [SEP] ... [SEP] cn vn [SEP]
+//
+// Null values are skipped together with their header, mirroring Example 4
+// where the Park Phone column (unaligned, hence null in the query schema)
+// is left out of the serialization.
+func SerializeTuple(headers, values []string) string {
+	var b strings.Builder
+	b.WriteString(CLS)
+	for i, h := range headers {
+		if i >= len(values) || values[i] == "" {
+			continue
+		}
+		b.WriteByte(' ')
+		b.WriteString(h)
+		b.WriteByte(' ')
+		b.WriteString(values[i])
+		b.WriteByte(' ')
+		b.WriteString(SEP)
+	}
+	return b.String()
+}
+
+// TupleTokens tokenizes a serialized tuple for encoding: headers are tagged
+// so that a header word and an identical value word produce distinct tokens
+// (the model must be able to tell structure from content), and marker tokens
+// are dropped.
+func TupleTokens(headers, values []string) []string {
+	var out []string
+	for i, h := range headers {
+		if i >= len(values) || values[i] == "" {
+			continue
+		}
+		for _, t := range tokenize.Words(h) {
+			out = append(out, "h:"+t)
+		}
+		out = append(out, tokenize.Words(values[i])...)
+	}
+	return out
+}
+
+// EncodeTuple embeds one tuple with this encoder using the paper's
+// serialization.
+func (e *Encoder) EncodeTuple(headers, values []string) []float64 {
+	return e.EncodeTokens(TupleTokens(headers, values))
+}
+
+// EncodeText tokenizes s and embeds it.
+func (e *Encoder) EncodeText(s string) []float64 {
+	return e.EncodeTokens(tokenize.Words(s))
+}

@@ -1,0 +1,77 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6 and Appendix A.2) over the synthetic benchmark corpus.
+// Each experiment is a function returning a renderable report; the
+// cmd/dustbench binary and the repository's benchmark harness both call
+// into this package. Absolute numbers differ from the paper (the substrate
+// is a simulator, not the authors' testbed); the shapes — who wins, by
+// roughly what factor, where crossovers fall — are the reproduction target
+// and are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"sync"
+
+	"dust/internal/datagen"
+	"dust/internal/model"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick shrinks the workloads so the whole suite runs in tens of
+	// seconds (used by `go test` and `go test -bench`); the full scale is
+	// the dustbench default.
+	Quick bool
+}
+
+// scale returns q if Quick, f otherwise.
+func (c Config) scale(q, f int) int {
+	if c.Quick {
+		return q
+	}
+	return f
+}
+
+// Shared trained models and benchmarks are expensive; cache per process.
+var (
+	onceModels   sync.Once
+	cachedModels struct {
+		dustRoberta *model.Model
+		dustBert    *model.Model
+		ditto       *model.Model
+		pairs       datagen.PairDataset
+	}
+)
+
+// trainingBenchmark returns the TUS-derived fine-tuning corpus (§6.1.1).
+func trainingBenchmark() *datagen.Benchmark {
+	return datagen.Generate("tus-finetune", datagen.Config{
+		Seed: 901, Domains: 8, TablesPerBase: 8, BaseRows: 60, MinRows: 10, MaxRows: 20,
+	})
+}
+
+// Models trains (once per process) the two DUST variants and the Ditto
+// simulator on the TUS fine-tuning benchmark and returns them with the
+// pair dataset used.
+func Models() (dustRoberta, dustBert, ditto *model.Model, pairs datagen.PairDataset) {
+	onceModels.Do(func() {
+		bench := trainingBenchmark()
+		cachedModels.pairs = datagen.Pairs(bench, 2000, 902)
+		cfg := model.DefaultConfig()
+		cfg.Epochs = 30
+		cachedModels.dustRoberta = model.Train("dust-roberta", model.NewRoBERTaFeaturizer(),
+			cachedModels.pairs.Train, cachedModels.pairs.Val, cfg)
+		cachedModels.dustBert = model.Train("dust-bert", model.NewBERTFeaturizer(),
+			cachedModels.pairs.Train, cachedModels.pairs.Val, cfg)
+		entity := datagen.EntityPairs(bench, len(cachedModels.pairs.Train), 903)
+		cachedModels.ditto = model.Train("ditto", model.NewRoBERTaFeaturizer(),
+			entity, cachedModels.pairs.Val, cfg)
+	})
+	return cachedModels.dustRoberta, cachedModels.dustBert, cachedModels.ditto, cachedModels.pairs
+}
+
+// Benchmarks used across experiments, regenerated on demand (generation is
+// cheap; only model training is cached).
+func benchTUSSampled() *datagen.Benchmark { return datagen.TUSSampled() }
+func benchSANTOS() *datagen.Benchmark     { return datagen.SANTOS() }
+func benchUGEN() *datagen.Benchmark       { return datagen.UGEN() }
+func benchIMDB() *datagen.Benchmark       { return datagen.IMDB() }

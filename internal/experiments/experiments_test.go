@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var quick = Config{Quick: true}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 12 {
+		t.Fatalf("registry has %d experiments, want >= 12 (every table and figure)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if seen[r.Name] {
+			t.Errorf("duplicate experiment %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Artifact == "" || r.Run == nil {
+			t.Errorf("experiment %q incomplete", r.Name)
+		}
+	}
+	for _, want := range []string{"fig2", "fig5", "table1", "fig6", "table2", "fig7", "table3", "fig8", "fig10", "fig11", "prune"} {
+		if !seen[want] {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+	if _, err := Get("fig6"); err != nil {
+		t.Errorf("Get(fig6) error: %v", err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("Get(nope) should error")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{Title: "T", Columns: []string{"a", "bb"}}
+	r.AddRow("1", "2")
+	r.AddRow("333", "4")
+	r.Note("hello %d", 5)
+	s := r.String()
+	for _, want := range []string{"== T ==", "a    bb", "333", "note: hello 5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	r := Fig5(quick)
+	if len(r.Rows) != 5 {
+		t.Fatalf("Fig5 rows = %d, want 5 benchmarks", len(r.Rows))
+	}
+	if r.Rows[0][0] != "tus" {
+		t.Errorf("first benchmark = %q, want tus", r.Rows[0][0])
+	}
+}
+
+func TestFig6ShapeChecksPass(t *testing.T) {
+	r := Fig6(quick)
+	if len(r.Rows) != 6 {
+		t.Fatalf("Fig6 rows = %d, want 6 models", len(r.Rows))
+	}
+	assertAllShapesPass(t, r)
+}
+
+func TestFig7ShapeChecksPass(t *testing.T) {
+	assertAllShapesPass(t, Fig7(quick))
+}
+
+func TestPruneAblationShapeChecksPass(t *testing.T) {
+	assertAllShapesPass(t, PruneAblation(quick))
+}
+
+func TestTable2ShapeChecksPass(t *testing.T) {
+	assertAllShapesPass(t, Table2(quick))
+}
+
+func TestFig10ShapeChecksPass(t *testing.T) {
+	assertAllShapesPass(t, Fig10(quick))
+}
+
+// assertAllShapesPass fails the test if any "shape ...: FAIL" note appears.
+func assertAllShapesPass(t *testing.T, r *Report) {
+	t.Helper()
+	for _, n := range r.Notes {
+		if strings.Contains(n, "FAIL") {
+			t.Errorf("%s: %s", r.Title, n)
+		}
+	}
+}

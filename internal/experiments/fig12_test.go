@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+func TestFig12ShapeChecksPass(t *testing.T) {
+	r := Fig12(quick)
+	if len(r.Rows) != 10 {
+		t.Fatalf("Fig12 rows = %d, want 10 (5 per method)", len(r.Rows))
+	}
+	assertAllShapesPass(t, r)
+}
+
+func TestFig2ShapeChecksPass(t *testing.T) {
+	assertAllShapesPass(t, Fig2(quick))
+}
+
+func TestFig11ProducesAllPValues(t *testing.T) {
+	r := Fig11(quick)
+	if len(r.Rows) != 10 {
+		t.Fatalf("Fig11 rows = %d, want 10 (p=1..5 on two benchmarks)", len(r.Rows))
+	}
+}
+
+func TestAblationGranularityShapeChecksPass(t *testing.T) {
+	assertAllShapesPass(t, AblationTupleVsTable(quick))
+}
+
+func TestTable2RandomDUSTWins(t *testing.T) {
+	r := Table2Random(quick)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// DUST must beat best-of-5 random on at least half the queries.
+	for _, row := range r.Rows {
+		if row[2] == "0" && row[3] == "0" {
+			t.Errorf("DUST won nothing vs random on %s", row[0])
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"dust/internal/vector"
+)
+
+// Fig2 reproduces the table-vs-tuple embedding geometry argument (paper
+// Fig. 2): embed five sets of unionable tables and their tuples, project
+// both to 2-D with PCA, and measure how spread out each population is.
+// The paper's observation — tables of a unionable set stay compact while
+// their tuples scatter widely — is what justifies diversifying tuples
+// rather than tables.
+func Fig2(cfg Config) *Report {
+	dustModel, _, _, _ := Models()
+	b := benchSANTOS()
+
+	// Five unionable sets = five domains' table groups.
+	bases := map[string][]int{} // base -> table indices
+	tables := b.Lake.Tables()
+	for i, t := range tables {
+		bases[t.Base] = append(bases[t.Base], i)
+	}
+	var chosen []string
+	for _, t := range tables {
+		if len(chosen) == 5 {
+			break
+		}
+		dup := false
+		for _, c := range chosen {
+			if c == t.Base {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			chosen = append(chosen, t.Base)
+		}
+	}
+
+	maxTuplesPerTable := cfg.scale(5, 20)
+	var tableVecs, tupleVecs []vector.Vec
+	var tableSet, tupleSet []int
+	for si, base := range chosen {
+		for _, ti := range bases[base][:min2(4, len(bases[base]))] {
+			t := tables[ti]
+			headers := t.Headers()
+			var rows []vector.Vec
+			for r := 0; r < t.NumRows() && r < maxTuplesPerTable; r++ {
+				v := dustModel.EncodeTuple(headers, t.Row(r))
+				rows = append(rows, v)
+				tupleVecs = append(tupleVecs, v)
+				tupleSet = append(tupleSet, si)
+			}
+			tableVecs = append(tableVecs, vector.Mean(rows))
+			tableSet = append(tableSet, si)
+		}
+	}
+
+	tablePCA, _ := vector.FitPCA(tableVecs, 2)
+	tuplePCA, _ := vector.FitPCA(tupleVecs, 2)
+	table2d := tablePCA.TransformAll(tableVecs)
+	tuple2d := tuplePCA.TransformAll(tupleVecs)
+
+	tableIntra, tableInter := spread(table2d, tableSet)
+	tupleIntra, tupleInter := spread(tuple2d, tupleSet)
+	tableRatio := safeDiv(tableIntra, tableInter)
+	tupleRatio := safeDiv(tupleIntra, tupleInter)
+
+	r := &Report{
+		Title:   "Fig. 2 — PCA spread of table vs tuple embeddings (5 unionable sets)",
+		Columns: []string{"Population", "Intra-set dist", "Inter-set dist", "Intra/Inter"},
+	}
+	r.AddRow("tables", f3(tableIntra), f3(tableInter), f3(tableRatio))
+	r.AddRow("tuples", f3(tupleIntra), f3(tupleInter), f3(tupleRatio))
+	r.Note("paper shape: tables cluster tightly (low intra/inter) while tuples of the same unionable set scatter — diversifying tuples has far more room than diversifying tables")
+	r.Note("shape tuples scatter more: %s (tuple ratio %.3f > table ratio %.3f)",
+		passFail(tupleRatio > tableRatio), tupleRatio, tableRatio)
+	return r
+}
+
+// spread returns the mean intra-set and inter-set pairwise distances of
+// 2-d points with set labels.
+func spread(pts []vector.Vec, set []int) (intra, inter float64) {
+	var nIntra, nInter int
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			dd := vector.Euclidean(pts[i], pts[j])
+			if set[i] == set[j] {
+				intra += dd
+				nIntra++
+			} else {
+				inter += dd
+				nInter++
+			}
+		}
+	}
+	if nIntra > 0 {
+		intra /= float64(nIntra)
+	}
+	if nInter > 0 {
+		inter /= float64(nInter)
+	}
+	return intra, inter
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"dust/internal/datagen"
+	"dust/internal/lake"
+)
+
+// Fig5 reproduces the benchmark-statistics table (paper Fig. 5): tables,
+// columns, and tuples per benchmark, plus the average number of unionable
+// tables per query. Our corpus is a scaled-down synthetic derivation; the
+// relative ordering (TUS largest, UGEN-V1 smallest tables) is preserved.
+func Fig5(cfg Config) *Report {
+	r := &Report{
+		Title: "Fig. 5 — Benchmarks used in the experiments (scaled)",
+		Columns: []string{"Benchmark", "Queries", "Lake Tables", "Lake Columns",
+			"Lake Tuples", "Avg Unionable/Query"},
+	}
+	add := func(b *datagen.Benchmark) {
+		s := b.Lake.Stats()
+		var totalU int
+		for _, names := range b.Unionable {
+			totalU += len(names)
+		}
+		avg := 0.0
+		if len(b.Queries) > 0 {
+			avg = float64(totalU) / float64(len(b.Queries))
+		}
+		r.AddRow(b.Name, d(len(b.Queries)), d(s.Tables), d(s.Columns), d(s.Tuples), f1(avg))
+	}
+	add(datagen.TUS())
+	add(benchTUSSampled())
+	add(benchSANTOS())
+	add(benchUGEN())
+	add(benchIMDB())
+	r.Note("paper scale: TUS 5044 tables / 9.6M tuples, SANTOS 550 / 3.8M, UGEN-V1 1000 / 10K; this corpus keeps the same ordering and per-query structure at laptop scale")
+	return r
+}
+
+// lakeStats is re-exported for the dustgen CLI.
+func lakeStats(l *lake.Lake) lake.Stats { return l.Stats() }

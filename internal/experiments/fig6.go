@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"dust/internal/embed"
+	"dust/internal/model"
+)
+
+// Fig6 reproduces the unionable-tuple representation accuracy comparison
+// (paper Fig. 6): pre-trained BERT/RoBERTa/sBERT, the Ditto entity-matching
+// transfer, and the two fine-tuned DUST variants, all classified at the
+// 0.7 cosine-distance threshold on the TUS fine-tuning test split.
+func Fig6(cfg Config) *Report {
+	dustR, dustB, ditto, pairs := Models()
+	test := pairs.Test
+	if cfg.Quick && len(test) > 120 {
+		test = test[:120]
+	}
+
+	encoders := []model.TupleEncoder{
+		embed.NewBERT(),
+		embed.NewRoBERTa(),
+		embed.NewSBERT(),
+		ditto,
+		dustB,
+		dustR,
+	}
+	r := &Report{
+		Title:   "Fig. 6 — Unionable tuple representation accuracy",
+		Columns: []string{"Model", "Accuracy", "Paper"},
+	}
+	paper := map[string]string{
+		"bert": "0.50", "roberta": "0.50", "sbert": "0.56",
+		"ditto": "0.66", "dust-bert": "0.84", "dust-roberta": "0.85",
+	}
+	acc := map[string]float64{}
+	for _, enc := range encoders {
+		a := model.Accuracy(enc, test, model.ClassifyThreshold)
+		acc[enc.Name()] = a
+		r.AddRow(enc.Name(), f3(a), paper[enc.Name()])
+	}
+	r.Note("shape pretrained ~coin-toss: %s (bert %.3f, roberta %.3f)",
+		passFail(acc["bert"] < 0.62 && acc["roberta"] < 0.62), acc["bert"], acc["roberta"])
+	r.Note("shape dust > ditto by >= 15%%: %s (dust-roberta %.3f vs ditto %.3f)",
+		passFail(acc["dust-roberta"] >= acc["ditto"]*1.15), acc["dust-roberta"], acc["ditto"])
+	r.Note("shape ordering bert<=sbert<=ditto<=dust(bert)<=dust(roberta): %s",
+		passFail(acc["bert"] <= acc["sbert"]+0.02 && acc["sbert"] <= acc["ditto"]+0.02 &&
+			acc["ditto"] <= acc["dust-bert"] && acc["dust-bert"] <= acc["dust-roberta"]+0.02))
+	return r
+}

@@ -1,0 +1,13 @@
+package experiments
+
+import (
+	"dust"
+	"dust/internal/datagen"
+	"dust/internal/model"
+)
+
+// pipelineFor assembles the full DUST pipeline over a benchmark's lake
+// with the fine-tuned tuple model installed.
+func pipelineFor(b *datagen.Benchmark, m *model.Model) *dust.Pipeline {
+	return dust.New(b.Lake, dust.WithTupleEncoder(m))
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner is one registered experiment.
+type Runner struct {
+	Name     string
+	Artifact string // which table/figure of the paper it regenerates
+	Run      func(Config) *Report
+}
+
+// All returns every registered experiment in presentation order.
+func All() []Runner {
+	return []Runner{
+		{"fig2", "Fig. 2 (embedding geometry)", Fig2},
+		{"fig5", "Fig. 5 (benchmark statistics)", Fig5},
+		{"table1", "Table 1 (column alignment)", Table1},
+		{"fig6", "Fig. 6 (tuple representation accuracy)", Fig6},
+		{"table2", "Table 2 (diversification wins + time)", Table2},
+		{"random", "§6.4.3 (random baseline)", Table2Random},
+		{"fig7", "Fig. 7 (runtime scalability)", Fig7},
+		{"table3", "Table 3 (vs table search techniques)", Table3},
+		{"fig8", "Fig. 8 (IMDB case study)", Fig8},
+		{"fig10", "Fig. 10 (shuffle robustness)", Fig10},
+		{"fig11", "Fig. 11 (impact of p)", Fig11},
+		{"fig12", "Fig. 12 / App. A.2.5 (mythology anecdote)", Fig12},
+		{"prune", "App. A.2.3 (pruning influence)", PruneAblation},
+		{"ablation-granularity", "DESIGN ablation (tuple vs table)", AblationTupleVsTable},
+		{"ablation-medoid", "DESIGN ablation (medoid vs random)", AblationMedoid},
+		{"ablation-distance", "DESIGN ablation (distance stability)", AblationDistance},
+	}
+}
+
+// Get returns the named experiment.
+func Get(name string) (Runner, error) {
+	for _, r := range All() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	var names []string
+	for _, r := range All() {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return Runner{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, names)
+}

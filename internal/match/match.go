@@ -1,0 +1,145 @@
+// Package match implements maximum-weight bipartite matching via the
+// Hungarian (Kuhn-Munkres) algorithm. The Starmie simulator uses it to
+// score table unionability as the maximum-weight matching between query and
+// candidate columns (paper §6.2.3), and Starmie (B) column alignment builds
+// directly on it.
+package match
+
+import "math"
+
+// Assignment is one matched pair (Left index, Right index) and its weight.
+type Assignment struct {
+	Left, Right int
+	Weight      float64
+}
+
+// MaxWeight computes a maximum-weight matching of the bipartite graph whose
+// weights are given by w (w[i][j] = weight of matching left i with right j).
+// The matrix may be rectangular. Pairs with non-positive weight are left
+// unmatched in the returned assignment list (matching them never helps the
+// callers here, which use similarity weights). Returns the assignments and
+// the total weight.
+func MaxWeight(w [][]float64) ([]Assignment, float64) {
+	nl := len(w)
+	if nl == 0 {
+		return nil, 0
+	}
+	nr := 0
+	for _, row := range w {
+		if len(row) > nr {
+			nr = len(row)
+		}
+	}
+	if nr == 0 {
+		return nil, 0
+	}
+	n := nl
+	if nr > n {
+		n = nr
+	}
+	// Build a square cost matrix for minimization: cost = maxW - weight,
+	// padding absent cells with weight 0.
+	maxW := 0.0
+	for i := range w {
+		for _, v := range w[i] {
+			if v > maxW {
+				maxW = v
+			}
+		}
+	}
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			v := 0.0
+			if i < nl && j < len(w[i]) {
+				v = w[i][j]
+			}
+			cost[i][j] = maxW - v
+		}
+	}
+
+	rowMate := hungarian(cost) // rowMate[i] = matched column of row i
+
+	var out []Assignment
+	var total float64
+	for i := 0; i < nl; i++ {
+		j := rowMate[i]
+		if j < 0 || j >= nr || j >= len(w[i]) {
+			continue
+		}
+		if w[i][j] <= 0 {
+			continue
+		}
+		out = append(out, Assignment{Left: i, Right: j, Weight: w[i][j]})
+		total += w[i][j]
+	}
+	return out, total
+}
+
+// hungarian solves the square assignment problem (minimization) and returns
+// row -> column assignments. Standard O(n^3) potentials implementation.
+func hungarian(cost [][]float64) []int {
+	n := len(cost)
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j] = row matched to column j (1-based)
+	way := make([]int, n+1) // way[j] = previous column on the augmenting path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	rowMate := make([]int, n)
+	for i := range rowMate {
+		rowMate[i] = -1
+	}
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			rowMate[p[j]-1] = j - 1
+		}
+	}
+	return rowMate
+}

@@ -1,0 +1,137 @@
+package match
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMaxWeightSimple(t *testing.T) {
+	w := [][]float64{
+		{0.9, 0.1},
+		{0.2, 0.8},
+	}
+	as, total := MaxWeight(w)
+	if len(as) != 2 {
+		t.Fatalf("assignments = %v", as)
+	}
+	if math.Abs(total-1.7) > 1e-9 {
+		t.Errorf("total = %v, want 1.7", total)
+	}
+}
+
+func TestMaxWeightPrefersGlobalOptimum(t *testing.T) {
+	// Greedy would take (0,0)=0.9 then (1,1)=0.1 for 1.0; optimal is
+	// (0,1)=0.8 + (1,0)=0.7 = 1.5.
+	w := [][]float64{
+		{0.9, 0.8},
+		{0.7, 0.1},
+	}
+	_, total := MaxWeight(w)
+	if math.Abs(total-1.5) > 1e-9 {
+		t.Errorf("total = %v, want 1.5 (global optimum)", total)
+	}
+}
+
+func TestMaxWeightRectangular(t *testing.T) {
+	// More right nodes than left.
+	w := [][]float64{
+		{0.1, 0.9, 0.2, 0.3},
+		{0.8, 0.2, 0.1, 0.4},
+	}
+	as, total := MaxWeight(w)
+	if len(as) != 2 {
+		t.Fatalf("assignments = %v", as)
+	}
+	if math.Abs(total-1.7) > 1e-9 {
+		t.Errorf("total = %v, want 1.7", total)
+	}
+	// More left nodes than right.
+	wt := [][]float64{
+		{0.1},
+		{0.9},
+		{0.5},
+	}
+	as, total = MaxWeight(wt)
+	if len(as) != 1 || as[0].Left != 1 {
+		t.Errorf("assignments = %v, want single match for left=1", as)
+	}
+	if math.Abs(total-0.9) > 1e-9 {
+		t.Errorf("total = %v, want 0.9", total)
+	}
+}
+
+func TestMaxWeightSkipsNonPositive(t *testing.T) {
+	w := [][]float64{
+		{0, 0},
+		{0, 0.5},
+	}
+	as, total := MaxWeight(w)
+	if len(as) != 1 || as[0].Left != 1 || as[0].Right != 1 {
+		t.Errorf("assignments = %v, want only the 0.5 pair", as)
+	}
+	if total != 0.5 {
+		t.Errorf("total = %v", total)
+	}
+}
+
+func TestMaxWeightEmpty(t *testing.T) {
+	if as, total := MaxWeight(nil); as != nil || total != 0 {
+		t.Error("nil input should yield empty matching")
+	}
+	if as, total := MaxWeight([][]float64{{}, {}}); as != nil || total != 0 {
+		t.Error("empty rows should yield empty matching")
+	}
+}
+
+// Exhaustive cross-check against brute force on random small instances.
+func TestMaxWeightMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(4) // 2..5
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				w[i][j] = rng.Float64()
+			}
+		}
+		_, got := MaxWeight(w)
+		want := bruteForceMax(w)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: hungarian %v != brute force %v (w=%v)", trial, got, want, w)
+		}
+	}
+}
+
+// bruteForceMax tries every permutation.
+func bruteForceMax(w [][]float64) float64 {
+	n := len(w)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := 0.0
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			var s float64
+			for r, c := range perm {
+				if w[r][c] > 0 {
+					s += w[r][c]
+				}
+			}
+			if s > best {
+				best = s
+			}
+			return
+		}
+		for j := i; j < n; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			rec(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	rec(0)
+	return best
+}

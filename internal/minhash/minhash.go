@@ -1,0 +1,201 @@
+// Package minhash implements MinHash signatures and an LSH banding index.
+// The D3L baseline (paper §6.5.1) measures column unionability partly by
+// value overlap; like the original D3L and the JOSIE / LSH-Ensemble line of
+// work it builds on, the reproduction estimates Jaccard similarity between
+// column value sets with MinHash and uses LSH banding to shortlist
+// candidate columns without comparing against the whole lake.
+package minhash
+
+import (
+	"fmt"
+	"math"
+)
+
+// Signature is a MinHash sketch of a set.
+type Signature []uint64
+
+// Hasher produces MinHash signatures of a fixed length. The k hash
+// functions are simulated with one strong 64-bit hash and k seed mixes.
+type Hasher struct {
+	k     int
+	seeds []uint64
+}
+
+// NewHasher creates a Hasher with k hash functions (k >= 1).
+func NewHasher(k int) *Hasher {
+	if k < 1 {
+		k = 1
+	}
+	h := &Hasher{k: k, seeds: make([]uint64, k)}
+	state := uint64(0x5d15_ce55)
+	for i := range h.seeds {
+		state = state*6364136223846793005 + 1442695040888963407
+		h.seeds[i] = state
+	}
+	return h
+}
+
+// K returns the signature length.
+func (h *Hasher) K() int { return h.k }
+
+// Sign computes the MinHash signature of the given set of string values.
+// An empty set yields a signature of all MaxUint64.
+func (h *Hasher) Sign(values []string) Signature {
+	sig := make(Signature, h.k)
+	for i := range sig {
+		sig[i] = math.MaxUint64
+	}
+	for _, v := range values {
+		base := fnv64(v)
+		for i, seed := range h.seeds {
+			hv := mix(base ^ seed)
+			if hv < sig[i] {
+				sig[i] = hv
+			}
+		}
+	}
+	return sig
+}
+
+// Estimate returns the estimated Jaccard similarity of the sets behind two
+// signatures (fraction of agreeing positions).
+func Estimate(a, b Signature) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	eq := 0
+	for i := range a {
+		if a[i] == b[i] {
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(a))
+}
+
+// ExactJaccard computes the true Jaccard similarity of two string sets,
+// used as ground truth in tests and in the small-lake D3L scorer.
+func ExactJaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	set := make(map[string]bool, len(a))
+	for _, v := range a {
+		set[v] = true
+	}
+	inter := 0
+	seen := make(map[string]bool, len(b))
+	for _, v := range b {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if set[v] {
+			inter++
+		}
+	}
+	union := len(set) + len(seen) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Index is an LSH banding index over signatures: signatures agreeing on all
+// rows of any band land in the same bucket and become candidates.
+type Index struct {
+	hasher  *Hasher
+	bands   int
+	rows    int
+	buckets []map[string][]int // one bucket map per band
+	keys    []string           // id -> external key
+	sigs    []Signature
+}
+
+// NewIndex creates an LSH index with the given number of bands; the hasher
+// signature length must be divisible by bands.
+func NewIndex(h *Hasher, bands int) (*Index, error) {
+	if bands < 1 || h.K()%bands != 0 {
+		return nil, fmt.Errorf("minhash: %d bands does not divide signature length %d", bands, h.K())
+	}
+	idx := &Index{
+		hasher:  h,
+		bands:   bands,
+		rows:    h.K() / bands,
+		buckets: make([]map[string][]int, bands),
+	}
+	for i := range idx.buckets {
+		idx.buckets[i] = make(map[string][]int)
+	}
+	return idx, nil
+}
+
+// Add signs the value set and indexes it under key. It returns the internal
+// id assigned to the key.
+func (idx *Index) Add(key string, values []string) int {
+	sig := idx.hasher.Sign(values)
+	id := len(idx.keys)
+	idx.keys = append(idx.keys, key)
+	idx.sigs = append(idx.sigs, sig)
+	for b := 0; b < idx.bands; b++ {
+		idx.buckets[b][bandKey(sig, b, idx.rows)] = append(idx.buckets[b][bandKey(sig, b, idx.rows)], id)
+	}
+	return id
+}
+
+// Candidate is a query result: an indexed key with its estimated Jaccard.
+type Candidate struct {
+	Key       string
+	Estimated float64
+}
+
+// Query signs the value set and returns all indexed keys sharing at least
+// one LSH bucket, with estimated Jaccard similarities, unsorted.
+func (idx *Index) Query(values []string) []Candidate {
+	sig := idx.hasher.Sign(values)
+	seen := map[int]bool{}
+	var out []Candidate
+	for b := 0; b < idx.bands; b++ {
+		for _, id := range idx.buckets[b][bandKey(sig, b, idx.rows)] {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			out = append(out, Candidate{Key: idx.keys[id], Estimated: Estimate(sig, idx.sigs[id])})
+		}
+	}
+	return out
+}
+
+// Len returns the number of indexed sets.
+func (idx *Index) Len() int { return len(idx.keys) }
+
+func bandKey(sig Signature, band, rows int) string {
+	b := make([]byte, 0, rows*8)
+	for _, v := range sig[band*rows : (band+1)*rows] {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(v>>s))
+		}
+	}
+	return string(b)
+}
+
+// fnv64 hashes s with FNV-1a.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// mix finalizes a 64-bit hash (splitmix64 finalizer).
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

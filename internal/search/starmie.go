@@ -1,0 +1,86 @@
+package search
+
+import (
+	"dust/internal/embed"
+	"dust/internal/lake"
+	"dust/internal/match"
+	"dust/internal/table"
+	"dust/internal/tokenize"
+	"dust/internal/vector"
+)
+
+// Starmie is the Starmie-like union searcher: every column of every lake
+// table is embedded with the contextualized column encoder at index time;
+// at query time the query's columns are matched to each candidate's columns
+// by maximum-weight bipartite matching over cosine similarity and the
+// normalized matching weight is the table's unionability score (§6.2.3).
+type Starmie struct {
+	enc    embed.StarmieEncoder
+	lake   *lake.Lake
+	corpus *tokenize.Corpus
+	cols   map[string][]vector.Vec // table name -> column embeddings
+	// MinSim drops column matches below this similarity (Starmie's
+	// verification threshold).
+	MinSim float64
+}
+
+// NewStarmie indexes the lake with the default Starmie encoder.
+func NewStarmie(l *lake.Lake) *Starmie {
+	return NewStarmieWithEncoder(l, embed.NewStarmie())
+}
+
+// NewStarmieWithEncoder indexes the lake with a custom encoder.
+func NewStarmieWithEncoder(l *lake.Lake, enc embed.StarmieEncoder) *Starmie {
+	s := &Starmie{
+		enc:    enc,
+		lake:   l,
+		corpus: &tokenize.Corpus{},
+		cols:   make(map[string][]vector.Vec, l.Len()),
+		MinSim: 0.3,
+	}
+	for _, t := range l.Tables() {
+		for i := range t.Columns {
+			s.corpus.AddDocument(embed.ColumnTokens(&t.Columns[i]))
+		}
+	}
+	for _, t := range l.Tables() {
+		s.cols[t.Name] = enc.EncodeTableColumns(t, s.corpus)
+	}
+	return s
+}
+
+// Name implements Searcher.
+func (s *Starmie) Name() string { return "starmie" }
+
+// Score computes the normalized bipartite matching weight between the query
+// and one lake table.
+func (s *Starmie) Score(queryCols []vector.Vec, t *table.Table) float64 {
+	cand := s.cols[t.Name]
+	if len(queryCols) == 0 || len(cand) == 0 {
+		return 0
+	}
+	w := make([][]float64, len(queryCols))
+	for i, qv := range queryCols {
+		w[i] = make([]float64, len(cand))
+		for j, cv := range cand {
+			if sim := vector.Cosine(qv, cv); sim > s.MinSim {
+				w[i][j] = sim
+			}
+		}
+	}
+	_, total := match.MaxWeight(w)
+	return total / float64(len(queryCols))
+}
+
+// EncodeQuery embeds a query table's columns with the index corpus.
+func (s *Starmie) EncodeQuery(q *table.Table) []vector.Vec {
+	return s.enc.EncodeTableColumns(q, s.corpus)
+}
+
+// TopK implements Searcher.
+func (s *Starmie) TopK(query *table.Table, k int) []Scored {
+	qCols := s.EncodeQuery(query)
+	return rankAll(s.lake, k, func(t *table.Table) float64 {
+		return s.Score(qCols, t)
+	})
+}

@@ -1,0 +1,79 @@
+package table
+
+import (
+	"strconv"
+	"strings"
+)
+
+// inferColumnType returns the majority type among non-null values; ties and
+// empty columns resolve to Text.
+func inferColumnType(values []string) Type {
+	var nums, dates, texts int
+	for _, v := range values {
+		if v == Null {
+			continue
+		}
+		switch classifyValue(v) {
+		case Number:
+			nums++
+		case Date:
+			dates++
+		default:
+			texts++
+		}
+	}
+	if nums > dates && nums > texts {
+		return Number
+	}
+	if dates > nums && dates > texts {
+		return Date
+	}
+	return Text
+}
+
+// classifyValue classifies a single cell value.
+func classifyValue(v string) Type {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return Text
+	}
+	if looksLikeDate(v) {
+		return Date
+	}
+	if _, err := strconv.ParseFloat(strings.ReplaceAll(v, ",", ""), 64); err == nil {
+		return Number
+	}
+	return Text
+}
+
+// looksLikeDate recognises the simple ISO-ish date formats the generators
+// emit (YYYY, YYYY-MM-DD, YYYY/MM/DD, MM/DD/YYYY).
+func looksLikeDate(v string) bool {
+	digits := func(s string) bool {
+		if s == "" {
+			return false
+		}
+		for _, r := range s {
+			if r < '0' || r > '9' {
+				return false
+			}
+		}
+		return true
+	}
+	if len(v) == 4 && digits(v) {
+		y, _ := strconv.Atoi(v)
+		return y >= 1000 && y <= 2999
+	}
+	for _, sep := range []string{"-", "/"} {
+		parts := strings.Split(v, sep)
+		if len(parts) != 3 {
+			continue
+		}
+		if digits(parts[0]) && digits(parts[1]) && digits(parts[2]) {
+			if len(parts[0]) == 4 || len(parts[2]) == 4 {
+				return true
+			}
+		}
+	}
+	return false
+}

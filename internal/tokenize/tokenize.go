@@ -1,0 +1,115 @@
+// Package tokenize provides the text substrate under every embedding model
+// in the reproduction: a word tokenizer, document-frequency statistics,
+// TF-IDF scoring, and the top-K representative-token selection the paper
+// uses to fit column values into a language model's 512-token input budget
+// (§6.2.3, following DeepJoin/Starmie/Doduo).
+package tokenize
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Words splits s into lowercase word tokens. Letters and digits form words;
+// everything else separates them. Numeric runs are kept as single tokens so
+// values like "773 731-0380" produce stable tokens.
+func Words(s string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			cur.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// TermFreq counts token occurrences in tokens.
+func TermFreq(tokens []string) map[string]int {
+	tf := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	return tf
+}
+
+// Corpus accumulates document frequencies across a set of documents (in our
+// setting, a document is usually one column's value set). The zero value is
+// ready to use.
+type Corpus struct {
+	docFreq map[string]int
+	numDocs int
+}
+
+// AddDocument records the distinct tokens of one document.
+func (c *Corpus) AddDocument(tokens []string) {
+	if c.docFreq == nil {
+		c.docFreq = make(map[string]int)
+	}
+	seen := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		if !seen[t] {
+			seen[t] = true
+			c.docFreq[t]++
+		}
+	}
+	c.numDocs++
+}
+
+// NumDocs returns the number of documents added.
+func (c *Corpus) NumDocs() int { return c.numDocs }
+
+// IDF returns the smoothed inverse document frequency of token, defined as
+// ln((1+N)/(1+df)) + 1 (the scikit-learn smoothing used by the baselines the
+// paper builds on).
+func (c *Corpus) IDF(token string) float64 {
+	df := 0
+	if c.docFreq != nil {
+		df = c.docFreq[token]
+	}
+	return math.Log(float64(1+c.numDocs)/float64(1+df)) + 1
+}
+
+// TFIDF scores every token in tokens against the corpus.
+func (c *Corpus) TFIDF(tokens []string) map[string]float64 {
+	tf := TermFreq(tokens)
+	out := make(map[string]float64, len(tf))
+	for tok, f := range tf {
+		out[tok] = float64(f) * c.IDF(tok)
+	}
+	return out
+}
+
+// TopK returns up to k tokens from tokens ranked by descending TF-IDF score,
+// breaking ties lexicographically so the selection is deterministic. This is
+// the "most representative tokens" selection of §6.2.3.
+func (c *Corpus) TopK(tokens []string, k int) []string {
+	scores := c.TFIDF(tokens)
+	uniq := make([]string, 0, len(scores))
+	for tok := range scores {
+		uniq = append(uniq, tok)
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		si, sj := scores[uniq[i]], scores[uniq[j]]
+		if si != sj {
+			return si > sj
+		}
+		return uniq[i] < uniq[j]
+	})
+	if k > 0 && len(uniq) > k {
+		uniq = uniq[:k]
+	}
+	return uniq
+}

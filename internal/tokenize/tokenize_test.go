@@ -1,0 +1,138 @@
+package tokenize
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestWords(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"River Park", []string{"river", "park"}},
+		{"773 731-0380", []string{"773", "731", "0380"}},
+		{"Oil on canvas", []string{"oil", "on", "canvas"}},
+		{"", nil},
+		{"  --  ", nil},
+		{"CamelCase", []string{"camelcase"}},
+		{"Brandon, MN", []string{"brandon", "mn"}},
+	}
+	for _, c := range cases {
+		got := Words(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Words(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTermFreq(t *testing.T) {
+	tf := TermFreq([]string{"a", "b", "a", "a"})
+	if tf["a"] != 3 || tf["b"] != 1 {
+		t.Errorf("TermFreq = %v", tf)
+	}
+}
+
+func TestCorpusIDF(t *testing.T) {
+	var c Corpus
+	c.AddDocument([]string{"common", "rare1"})
+	c.AddDocument([]string{"common", "rare2"})
+	c.AddDocument([]string{"common"})
+	if c.NumDocs() != 3 {
+		t.Fatalf("NumDocs = %d", c.NumDocs())
+	}
+	if c.IDF("common") >= c.IDF("rare1") {
+		t.Errorf("IDF(common)=%v should be < IDF(rare1)=%v", c.IDF("common"), c.IDF("rare1"))
+	}
+	if c.IDF("unseen") <= c.IDF("rare1") {
+		t.Errorf("IDF(unseen)=%v should be > IDF(rare1)=%v", c.IDF("unseen"), c.IDF("rare1"))
+	}
+}
+
+func TestCorpusIDFEmptyCorpus(t *testing.T) {
+	var c Corpus
+	if got := c.IDF("anything"); got != 1 {
+		t.Errorf("IDF on empty corpus = %v, want 1 (ln(1)+1)", got)
+	}
+}
+
+func TestTFIDFScoring(t *testing.T) {
+	var c Corpus
+	c.AddDocument([]string{"park", "city"})
+	c.AddDocument([]string{"park", "museum"})
+	scores := c.TFIDF([]string{"park", "museum", "museum"})
+	if scores["museum"] <= scores["park"] {
+		t.Errorf("rarer+more frequent token should outscore: %v", scores)
+	}
+}
+
+func TestTopKDeterministicAndBounded(t *testing.T) {
+	var c Corpus
+	c.AddDocument([]string{"a", "b", "c", "d"})
+	tokens := []string{"a", "b", "c", "d", "a"}
+	top2 := c.TopK(tokens, 2)
+	if len(top2) != 2 {
+		t.Fatalf("TopK(2) returned %d tokens", len(top2))
+	}
+	// "a" has tf=2 so it must come first.
+	if top2[0] != "a" {
+		t.Errorf("TopK[0] = %q, want a", top2[0])
+	}
+	// Ties among b,c,d broken lexicographically.
+	if top2[1] != "b" {
+		t.Errorf("TopK[1] = %q, want b (lexicographic tie-break)", top2[1])
+	}
+	// k <= 0 means no limit.
+	all := c.TopK(tokens, 0)
+	if len(all) != 4 {
+		t.Errorf("TopK(0) = %v, want all 4 distinct tokens", all)
+	}
+}
+
+func TestTopKStableAcrossCalls(t *testing.T) {
+	var c Corpus
+	c.AddDocument([]string{"x", "y", "z"})
+	tokens := []string{"z", "y", "x"}
+	first := c.TopK(tokens, 3)
+	for i := 0; i < 10; i++ {
+		if got := c.TopK(tokens, 3); !reflect.DeepEqual(got, first) {
+			t.Fatalf("TopK nondeterministic: %v vs %v", got, first)
+		}
+	}
+}
+
+// Property: Words output contains no uppercase letters and no empty tokens.
+func TestWordsProperty(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Words(s) {
+			if tok == "" {
+				return false
+			}
+			for _, r := range tok {
+				if r >= 'A' && r <= 'Z' {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sum of TermFreq counts equals the token count.
+func TestTermFreqTotalProperty(t *testing.T) {
+	f := func(raw []string) bool {
+		tf := TermFreq(raw)
+		total := 0
+		for _, n := range tf {
+			total += n
+		}
+		return total == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+package vector
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PCA projects a set of vectors onto their top principal components. It is
+// used to regenerate Figure 2 of the paper (2-d scatter of 768-d table and
+// tuple embeddings). The implementation centers the data, forms the
+// covariance matrix, and diagonalises it with the cyclic Jacobi method,
+// which is robust and dependency-free at the dimensionalities we use.
+type PCA struct {
+	components [][]float64 // row i = i-th principal axis, unit norm
+	mean       Vec
+	variance   []float64 // eigenvalue for each retained component
+}
+
+// FitPCA computes the top-k principal components of data. Every row of data
+// must have the same dimension. k is clamped to the data dimension.
+func FitPCA(data []Vec, k int) (*PCA, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("vector: FitPCA needs at least one sample")
+	}
+	dim := len(data[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("vector: FitPCA needs non-empty vectors")
+	}
+	for i, v := range data {
+		if len(v) != dim {
+			return nil, fmt.Errorf("vector: FitPCA sample %d has dimension %d, want %d", i, len(v), dim)
+		}
+	}
+	if k <= 0 || k > dim {
+		k = dim
+	}
+
+	mean := Mean(data)
+	// Covariance matrix (dim x dim).
+	cov := make([][]float64, dim)
+	for i := range cov {
+		cov[i] = make([]float64, dim)
+	}
+	for _, v := range data {
+		for i := 0; i < dim; i++ {
+			di := v[i] - mean[i]
+			row := cov[i]
+			for j := i; j < dim; j++ {
+				row[j] += di * (v[j] - mean[j])
+			}
+		}
+	}
+	inv := 1 / float64(len(data))
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			cov[i][j] *= inv
+			cov[j][i] = cov[i][j]
+		}
+	}
+
+	vals, vecs := jacobiEigen(cov)
+	// Order eigenpairs by decreasing eigenvalue.
+	idx := make([]int, dim)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+
+	p := &PCA{mean: mean}
+	for c := 0; c < k; c++ {
+		col := idx[c]
+		axis := make([]float64, dim)
+		for r := 0; r < dim; r++ {
+			axis[r] = vecs[r][col]
+		}
+		p.components = append(p.components, axis)
+		p.variance = append(p.variance, math.Max(vals[col], 0))
+	}
+	return p, nil
+}
+
+// Transform projects v onto the fitted components.
+func (p *PCA) Transform(v Vec) Vec {
+	centered := Sub(v, p.mean)
+	out := make(Vec, len(p.components))
+	for i, axis := range p.components {
+		out[i] = Dot(axis, centered)
+	}
+	return out
+}
+
+// TransformAll projects every vector in data.
+func (p *PCA) TransformAll(data []Vec) []Vec {
+	out := make([]Vec, len(data))
+	for i, v := range data {
+		out[i] = p.Transform(v)
+	}
+	return out
+}
+
+// ExplainedVariance returns the eigenvalue associated with each retained
+// component, in decreasing order.
+func (p *PCA) ExplainedVariance() []float64 {
+	out := make([]float64, len(p.variance))
+	copy(out, p.variance)
+	return out
+}
+
+// Components returns the number of retained principal components.
+func (p *PCA) Components() int { return len(p.components) }
+
+// jacobiEigen diagonalises the symmetric matrix a (destructively) using the
+// cyclic Jacobi method. It returns the eigenvalues and the matrix of
+// eigenvectors stored column-wise (vecs[r][c] = r-th component of the c-th
+// eigenvector).
+func jacobiEigen(a [][]float64) (vals []float64, vecs [][]float64) {
+	n := len(a)
+	vecs = make([][]float64, n)
+	for i := range vecs {
+		vecs[i] = make([]float64, n)
+		vecs[i][i] = 1
+	}
+	const (
+		maxSweeps = 100
+		eps       = 1e-12
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < eps {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(a[p][q]) < eps/float64(n*n) {
+					continue
+				}
+				// Compute the Jacobi rotation that zeroes a[p][q].
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				app, aqq, apq := a[p][p], a[q][q], a[p][q]
+				a[p][p] = c*c*app - 2*s*c*apq + s*s*aqq
+				a[q][q] = s*s*app + 2*s*c*apq + c*c*aqq
+				a[p][q] = 0
+				a[q][p] = 0
+				for i := 0; i < n; i++ {
+					if i == p || i == q {
+						continue
+					}
+					aip, aiq := a[i][p], a[i][q]
+					a[i][p] = c*aip - s*aiq
+					a[p][i] = a[i][p]
+					a[i][q] = s*aip + c*aiq
+					a[q][i] = a[i][q]
+				}
+				for i := 0; i < n; i++ {
+					vip, viq := vecs[i][p], vecs[i][q]
+					vecs[i][p] = c*vip - s*viq
+					vecs[i][q] = s*vip + c*viq
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = a[i][i]
+	}
+	return vals, vecs
+}

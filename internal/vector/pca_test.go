@@ -1,0 +1,116 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitPCAErrors(t *testing.T) {
+	if _, err := FitPCA(nil, 2); err == nil {
+		t.Error("FitPCA(nil) should error")
+	}
+	if _, err := FitPCA([]Vec{{}}, 2); err == nil {
+		t.Error("FitPCA with empty vectors should error")
+	}
+	if _, err := FitPCA([]Vec{{1, 2}, {1}}, 2); err == nil {
+		t.Error("FitPCA with ragged rows should error")
+	}
+}
+
+func TestPCARecoversDominantAxis(t *testing.T) {
+	// Points spread along the diagonal (1,1)/sqrt(2) with small noise on the
+	// orthogonal axis: the first principal component must align with the
+	// diagonal.
+	rng := rand.New(rand.NewSource(1))
+	var data []Vec
+	for i := 0; i < 200; i++ {
+		tpos := rng.NormFloat64() * 10
+		noise := rng.NormFloat64() * 0.1
+		data = append(data, Vec{tpos + noise, tpos - noise})
+	}
+	p, err := FitPCA(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	axis := p.components[0]
+	// Alignment with (1,1)/sqrt(2), up to sign.
+	align := math.Abs((axis[0] + axis[1]) / math.Sqrt2)
+	if align < 0.99 {
+		t.Errorf("first PC alignment with diagonal = %v, want > 0.99 (axis %v)", align, axis)
+	}
+	ev := p.ExplainedVariance()
+	if ev[0] <= ev[1] {
+		t.Errorf("eigenvalues not sorted: %v", ev)
+	}
+	if ev[0] < 50 {
+		t.Errorf("dominant eigenvalue %v suspiciously small", ev[0])
+	}
+}
+
+func TestPCATransformDimension(t *testing.T) {
+	data := []Vec{{1, 2, 3, 4}, {2, 3, 4, 5}, {0, 1, 0, 1}, {5, 4, 3, 2}}
+	p, err := FitPCA(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Components() != 2 {
+		t.Fatalf("Components = %d, want 2", p.Components())
+	}
+	out := p.TransformAll(data)
+	if len(out) != len(data) {
+		t.Fatalf("TransformAll length = %d, want %d", len(out), len(data))
+	}
+	for _, v := range out {
+		if len(v) != 2 {
+			t.Fatalf("projected dimension = %d, want 2", len(v))
+		}
+	}
+}
+
+func TestPCAPreservesPairwiseVarianceTotal(t *testing.T) {
+	// With k = dim, total explained variance equals total data variance.
+	rng := rand.New(rand.NewSource(7))
+	var data []Vec
+	for i := 0; i < 100; i++ {
+		data = append(data, Vec{rng.NormFloat64(), rng.NormFloat64() * 2, rng.NormFloat64() * 3})
+	}
+	p, err := FitPCA(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evSum float64
+	for _, e := range p.ExplainedVariance() {
+		evSum += e
+	}
+	mean := Mean(data)
+	var varSum float64
+	for _, v := range data {
+		d := Sub(v, mean)
+		varSum += Dot(d, d)
+	}
+	varSum /= float64(len(data))
+	if math.Abs(evSum-varSum) > 1e-6*math.Max(1, varSum) {
+		t.Errorf("explained variance %v != total variance %v", evSum, varSum)
+	}
+}
+
+func TestPCAKClamped(t *testing.T) {
+	data := []Vec{{1, 2}, {3, 4}, {5, 6}}
+	p, err := FitPCA(data, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Components() != 2 {
+		t.Errorf("Components = %d, want clamped to 2", p.Components())
+	}
+}
+
+func TestJacobiEigenIdentity(t *testing.T) {
+	a := [][]float64{{2, 0}, {0, 3}}
+	vals, _ := jacobiEigen(a)
+	got := map[float64]bool{vals[0]: true, vals[1]: true}
+	if !got[2] || !got[3] {
+		t.Errorf("eigenvalues of diag(2,3) = %v", vals)
+	}
+}
