@@ -7,6 +7,8 @@ package dust_test
 // diversification algorithms).
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"dust"
@@ -105,9 +107,63 @@ func BenchmarkPipelineSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelPipeline measures the end-to-end quick pipeline (index +
+// search) at workers=1 vs workers=NumCPU so BENCH_*.json tracks the
+// parallel speedup. The lake index is rebuilt inside the timed loop: index
+// construction is a parallelized hot path, and serving-side TopK/embedding/
+// diversification parallelism is covered by the same Search call.
+func BenchmarkParallelPipeline(b *testing.B) {
+	bench := datagen.Generate("bench-parallel", datagen.Config{
+		Seed: 995, Domains: 4, TablesPerBase: 6, BaseRows: 80, MinRows: 20, MaxRows: 40,
+	})
+	q := bench.Queries[0]
+	for _, workers := range benchWorkerCounts() {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := dust.New(bench.Lake, dust.WithWorkers(workers))
+				if _, err := p.Search(q, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchWorkerCounts is {1, NumCPU} on multi-core machines and {1} on a
+// single core, where the second entry would just duplicate the first.
+func benchWorkerCounts() []int {
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkSearchBatch measures concurrent query serving over the bounded
+// worker pool at workers=1 vs workers=NumCPU.
+func BenchmarkSearchBatch(b *testing.B) {
+	bench := datagen.Generate("bench-batch", datagen.Config{
+		Seed: 996, Domains: 4, TablesPerBase: 5, BaseRows: 60, MinRows: 15, MaxRows: 30,
+	})
+	for _, workers := range benchWorkerCounts() {
+		p := dust.New(bench.Lake, dust.WithWorkers(workers))
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.SearchBatch(bench.Queries, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- substrate micro-benchmarks ---
 
 func BenchmarkTupleEmbedding(b *testing.B) {
+	b.ReportAllocs()
 	enc := embed.NewRoBERTa()
 	headers := []string{"Park Name", "Supervisor", "City", "Country"}
 	values := []string{"River Park", "Vera Onate", "Fresno", "USA"}
@@ -118,6 +174,7 @@ func BenchmarkTupleEmbedding(b *testing.B) {
 }
 
 func BenchmarkModelEncode(b *testing.B) {
+	b.ReportAllocs()
 	bench := datagen.Generate("bench-model", datagen.Config{
 		Seed: 992, Domains: 4, TablesPerBase: 4, BaseRows: 40, MinRows: 8, MaxRows: 16,
 	})
@@ -134,6 +191,7 @@ func BenchmarkModelEncode(b *testing.B) {
 }
 
 func BenchmarkStarmieIndexAndSearch(b *testing.B) {
+	b.ReportAllocs()
 	bench := datagen.Generate("bench-starmie", datagen.Config{
 		Seed: 994, Domains: 4, TablesPerBase: 6, BaseRows: 50, MinRows: 10, MaxRows: 25,
 	})
@@ -165,6 +223,7 @@ func benchProblem(s int) diversify.Problem {
 }
 
 func BenchmarkDiversifyDUST(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProblem(1000)
 	algo := diversify.NewDUST()
 	algo.S = 400
@@ -175,6 +234,7 @@ func BenchmarkDiversifyDUST(b *testing.B) {
 }
 
 func BenchmarkDiversifyGMC(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProblem(1000)
 	algo := diversify.NewGMC()
 	b.ResetTimer()
@@ -184,6 +244,7 @@ func BenchmarkDiversifyGMC(b *testing.B) {
 }
 
 func BenchmarkDiversifyCLT(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProblem(1000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -192,6 +253,7 @@ func BenchmarkDiversifyCLT(b *testing.B) {
 }
 
 func BenchmarkDiversifyMaxMin(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProblem(1000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"dust/internal/experiments"
@@ -20,11 +21,15 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment to run (default: all)")
-		quick = flag.Bool("quick", false, "reduced workload sizes")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "", "experiment to run (default: all)")
+		quick   = flag.Bool("quick", false, "reduced workload sizes")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		workers = flag.Int("workers", 0, "cap parallelism via GOMAXPROCS (0 = all cores); every parallel kernel derives its default from it")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	if *list {
 		for _, r := range experiments.All() {

@@ -28,6 +28,7 @@ func main() {
 		topTables = flag.Int("tables", 10, "unionable tables to retrieve")
 		modelPath = flag.String("model", "", "fine-tuned model from dusttrain (optional)")
 		outPath   = flag.String("out", "", "write result CSV here instead of stdout")
+		workers   = flag.Int("workers", 0, "parallelism of indexing/embedding/diversification (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 	if *queryPath == "" || *lakeDir == "" {
@@ -43,7 +44,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := []dust.Option{dust.WithTopTables(*topTables)}
+	opts := []dust.Option{dust.WithTopTables(*topTables), dust.WithWorkers(*workers)}
 	if *modelPath != "" {
 		f, err := os.Open(*modelPath)
 		if err != nil {

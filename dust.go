@@ -18,6 +18,7 @@
 package dust
 
 import (
+	"errors"
 	"fmt"
 
 	"dust/internal/align"
@@ -25,6 +26,7 @@ import (
 	"dust/internal/embed"
 	"dust/internal/lake"
 	"dust/internal/model"
+	"dust/internal/par"
 	"dust/internal/search"
 	"dust/internal/table"
 	"dust/internal/vector"
@@ -39,6 +41,8 @@ type Pipeline struct {
 	diversifier diversify.Algorithm
 	dist        vector.DistanceFunc
 	topTables   int
+	workers     int
+	workersSet  bool
 }
 
 // Option customizes a Pipeline.
@@ -66,10 +70,20 @@ func WithDistance(d vector.DistanceFunc) Option { return func(p *Pipeline) { p.d
 // before alignment (default: 10).
 func WithTopTables(n int) Option { return func(p *Pipeline) { p.topTables = n } }
 
+// WithWorkers bounds the parallelism of each pipeline stage — lake
+// indexing, query scoring, tuple embedding, and the diversifier's distance
+// kernels — and the number of queries SearchBatch serves concurrently.
+// n <= 0 (the default) derives the bound from GOMAXPROCS; n == 1 forces
+// the sequential path. A searcher supplied via WithSearcher is re-bounded
+// to n as well when it implements search.QueryBounded (the built-in
+// searchers do). Results are bit-identical for every setting.
+func WithWorkers(n int) Option {
+	return func(p *Pipeline) { p.workers, p.workersSet = n, true }
+}
+
 // New builds a Pipeline over a lake with the paper's default configuration.
 func New(l *lake.Lake, opts ...Option) *Pipeline {
 	p := &Pipeline{
-		searcher:    search.NewStarmie(l),
 		columnEnc:   embed.ColumnLevel{Model: embed.NewRoBERTa()},
 		tupleEnc:    embed.NewRoBERTa(embed.WithAnisotropy(0.05)),
 		diversifier: diversify.NewDUST(),
@@ -78,6 +92,16 @@ func New(l *lake.Lake, opts ...Option) *Pipeline {
 	}
 	for _, o := range opts {
 		o(p)
+	}
+	if p.searcher == nil {
+		// Built after the options so the default index honours WithWorkers.
+		p.searcher = search.NewStarmie(l, search.WithWorkers(p.workers))
+	} else if p.workersSet {
+		// An explicit WithWorkers also re-bounds a supplied searcher's
+		// query-time scoring; without it the searcher keeps its own bound.
+		if qb, ok := p.searcher.(search.QueryBounded); ok {
+			p.searcher = qb.QueryWorkers(p.workers)
+		}
 	}
 	return p
 }
@@ -121,7 +145,7 @@ func (p *Pipeline) Search(query *table.Table, k int) (*Result, error) {
 
 	// Line 5: T <- AlignColumns(Q, D').
 	cols := align.EmbedColumns(query, tables, p.columnEnc)
-	res := align.Holistic(cols)
+	res := align.HolisticWorkers(cols, p.workers)
 	headers, mappings, err := res.Mappings(query, tables)
 	if err != nil {
 		return nil, fmt.Errorf("dust: align: %w", err)
@@ -144,16 +168,12 @@ func (p *Pipeline) Search(query *table.Table, k int) (*Result, error) {
 		return nil, fmt.Errorf("dust: alignment produced no unionable tuples for %s", query.Name)
 	}
 
-	// Line 7: embed query and data lake tuples.
-	eq := make([]vector.Vec, query.NumRows())
-	for i := range eq {
-		eq[i] = p.tupleEnc.EncodeTuple(headers, query.Row(i))
-	}
-	et := make([]vector.Vec, unioned.NumRows())
+	// Line 7: embed query and data lake tuples, in parallel batches.
+	eq := model.EncodeBatch(p.tupleEnc, headers, tableRows(query), p.workers)
+	et := model.EncodeBatch(p.tupleEnc, headers, tableRows(unioned), p.workers)
 	groups := make([]int, unioned.NumRows())
 	groupIDs := map[string]int{}
-	for i := range et {
-		et[i] = p.tupleEnc.EncodeTuple(headers, unioned.Row(i))
+	for i := range groups {
 		g, ok := groupIDs[prov[i].Table]
 		if !ok {
 			g = len(groupIDs)
@@ -165,6 +185,7 @@ func (p *Pipeline) Search(query *table.Table, k int) (*Result, error) {
 	// Line 8: F <- DiversifyTuples(EQ, ET, k).
 	idx := p.diversifier.Select(diversify.Problem{
 		Query: eq, Tuples: et, Groups: groups, K: k, Dist: p.dist,
+		Workers: p.workers,
 	})
 
 	out := table.New(query.Name+"_diverse", headers...)
@@ -182,6 +203,54 @@ func (p *Pipeline) Search(query *table.Table, k int) (*Result, error) {
 		Unioned:           unioned,
 		UnionedProvenance: prov,
 	}, nil
+}
+
+// SearchBatch serves many queries against the same lake concurrently over
+// a bounded worker pool of WithWorkers size (the pool suits the irregular
+// per-query cost better than static chunking). The worker budget shifts
+// from data parallelism to query parallelism: each query's alignment,
+// embedding, diversification, and (for QueryBounded searchers, which the
+// defaults are) scoring kernels run sequentially so the batch as a whole
+// stays within the WithWorkers bound instead of multiplying it. Results are
+// index-aligned with queries; a query that fails leaves a nil slot and
+// contributes its error — wrapped with the query's position and name — to
+// the joined error. Each result is identical to what a lone Search call
+// would return.
+func (p *Pipeline) SearchBatch(queries []*table.Table, k int) ([]*Result, error) {
+	inner := *p
+	inner.workers = 1
+	if qb, ok := p.searcher.(search.QueryBounded); ok {
+		inner.searcher = qb.QueryWorkers(1)
+	}
+	results := make([]*Result, len(queries))
+	errs := make([]error, len(queries))
+	pool := par.NewPool(p.workers)
+	defer pool.Close()
+	for i := range queries {
+		i := i
+		pool.Submit(func() {
+			res, err := inner.Search(queries[i], k)
+			if err != nil {
+				name := "<nil>"
+				if queries[i] != nil {
+					name = queries[i].Name
+				}
+				err = fmt.Errorf("query %d (%s): %w", i, name, err)
+			}
+			results[i], errs[i] = res, err
+		})
+	}
+	pool.Wait()
+	return results, errors.Join(errs...)
+}
+
+// tableRows collects a table's rows for batch encoding.
+func tableRows(t *table.Table) [][]string {
+	rows := make([][]string, t.NumRows())
+	for i := range rows {
+		rows[i] = t.Row(i)
+	}
+	return rows
 }
 
 // coverageRows returns the indices of rows whose fraction of non-null
@@ -209,7 +278,7 @@ func filterRows(t *table.Table, prov []table.Provenance, keep []int) (*table.Tab
 	}
 	out, err := t.Select(t.Name, keep)
 	if err != nil {
-		// keep indices come from nonEmptyRows and are always valid.
+		// keep indices come from coverageRows and are always valid.
 		panic(err)
 	}
 	np := make([]table.Provenance, len(keep))

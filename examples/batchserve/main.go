@@ -1,0 +1,50 @@
+// Command batchserve demonstrates serving several queries at once with
+// Pipeline.SearchBatch over the bounded worker pool.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"dust"
+	"dust/internal/lake"
+	"dust/internal/table"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: batchserve <lake-dir> <query-dir>")
+		os.Exit(2)
+	}
+	lakeDir := os.Args[1]
+	queryDir := os.Args[2]
+	l, err := lake.Load(lakeDir)
+	if err != nil {
+		panic(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(queryDir, "*.csv"))
+	sort.Strings(files)
+	var queries []*table.Table
+	for _, f := range files {
+		q, err := table.LoadCSV(f)
+		if err != nil {
+			panic(err)
+		}
+		queries = append(queries, q)
+	}
+	p := dust.New(l, dust.WithWorkers(4))
+	results, err := p.SearchBatch(queries, 5)
+	if err != nil {
+		fmt.Println("batch error:", err)
+	}
+	for i, r := range results {
+		if r == nil {
+			fmt.Printf("%-16s <failed>\n", queries[i].Name)
+			continue
+		}
+		fmt.Printf("%-16s pool=%-4d returned=%d first=%q\n",
+			queries[i].Name, r.Unioned.NumRows(), r.Tuples.NumRows(), r.Tuples.Row(0))
+	}
+}

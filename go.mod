@@ -1,0 +1,3 @@
+module dust
+
+go 1.22

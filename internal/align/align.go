@@ -118,8 +118,17 @@ func EmbedColumnsStarmie(query *table.Table, tables []*table.Table, enc embed.St
 
 // Holistic aligns columns by constrained agglomerative clustering with
 // silhouette-selected cluster count, then keeps only clusters containing a
-// query column (paper §3.3).
+// query column (paper §3.3). It runs sequentially; HolisticWorkers fans the
+// distance-matrix construction out.
 func Holistic(cols []Column) *Result {
+	return HolisticWorkers(cols, 1)
+}
+
+// HolisticWorkers is Holistic with the pairwise column-distance matrix —
+// the alignment stage's quadratic hot spot — built by at most workers
+// goroutines (<= 0 means the GOMAXPROCS default). The result is identical
+// for every worker count.
+func HolisticWorkers(cols []Column, workers int) *Result {
 	numQuery := 0
 	for _, c := range cols {
 		if c.IsQuery {
@@ -135,7 +144,7 @@ func Holistic(cols []Column) *Result {
 	for i, c := range cols {
 		vecs[i] = c.Vec
 	}
-	m := cluster.NewMatrix(vecs, vector.Euclidean)
+	m := cluster.NewMatrixWorkers(vecs, vector.Euclidean, workers)
 	dend := cluster.Agglomerative(m, cluster.Options{
 		Linkage: cluster.Average,
 		CannotLink: func(i, j int) bool {

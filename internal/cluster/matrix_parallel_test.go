@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"testing"
+
+	"dust/internal/vector"
+)
+
+// syntheticVecs builds a deterministic workload large enough to exercise
+// multi-chunk scheduling and the Medoid parallel threshold.
+func syntheticVecs(n, dim int) []vector.Vec {
+	state := uint64(42)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>40)/float64(1<<24) - 0.5
+	}
+	out := make([]vector.Vec, n)
+	for i := range out {
+		v := make(vector.Vec, dim)
+		for j := range v {
+			v[j] = next()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestNewMatrixWorkersDeterministic(t *testing.T) {
+	items := syntheticVecs(301, 8)
+	seq := NewMatrixWorkers(items, vector.CosineDistance, 1)
+	for _, workers := range []int{2, 8} {
+		got := NewMatrixWorkers(items, vector.CosineDistance, workers)
+		if got.Len() != seq.Len() {
+			t.Fatalf("workers=%d: Len %d, want %d", workers, got.Len(), seq.Len())
+		}
+		for i := 0; i < seq.Len(); i++ {
+			for j := 0; j < seq.Len(); j++ {
+				if got.At(i, j) != seq.At(i, j) {
+					t.Fatalf("workers=%d: At(%d,%d) = %v, want %v",
+						workers, i, j, got.At(i, j), seq.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestNewMatrixFromFuncWorkersDeterministic(t *testing.T) {
+	f := func(i, j int) float64 { return float64(i*1000+j) / 7 }
+	seq := NewMatrixFromFuncWorkers(157, f, 1)
+	got := NewMatrixFromFuncWorkers(157, f, 8)
+	for i := 0; i < 157; i++ {
+		for j := 0; j < 157; j++ {
+			if got.At(i, j) != seq.At(i, j) {
+				t.Fatalf("At(%d,%d) = %v, want %v", i, j, got.At(i, j), seq.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMedoidWorkersDeterministic(t *testing.T) {
+	// More members than medoidParallelThreshold so the parallel path runs.
+	items := syntheticVecs(400, 8)
+	m := NewMatrix(items, vector.CosineDistance)
+	members := make([]int, 300)
+	for i := range members {
+		members[i] = i + 50
+	}
+	want := m.MedoidWorkers(members, 1)
+	for _, workers := range []int{2, 8} {
+		if got := m.MedoidWorkers(members, workers); got != want {
+			t.Errorf("workers=%d: Medoid = %d, want %d", workers, got, want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package datagen
 
 import (
 	"math/rand"
+	"sort"
 
 	"dust/internal/table"
 )
@@ -148,13 +149,20 @@ func EntityPairs(b *Benchmark, total int, seed int64) []TuplePair {
 			index[t.Base][baseRow] = append(index[t.Base][baseRow], entityLoc{t, r})
 		}
 	}
-	// Entities appearing at least twice, per base.
+	// Entities appearing at least twice, per base. The inner map iteration
+	// order is randomized, so sort the row ids: rng.Intn picks below must
+	// hit the same entity for the same seed on every run.
 	multi := map[string][]int{}
 	for base, m := range index {
+		var rows []int
 		for baseRow, locs := range m {
 			if len(locs) >= 2 {
-				multi[base] = append(multi[base], baseRow)
+				rows = append(rows, baseRow)
 			}
+		}
+		if len(rows) > 0 {
+			sort.Ints(rows)
+			multi[base] = rows
 		}
 	}
 	var usable []string

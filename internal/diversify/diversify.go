@@ -7,6 +7,7 @@
 package diversify
 
 import (
+	"dust/internal/par"
 	"dust/internal/vector"
 )
 
@@ -22,6 +23,10 @@ type Problem struct {
 	Groups []int
 	K      int
 	Dist   vector.DistanceFunc
+	// Workers bounds the parallelism of the distance kernels (pruning,
+	// clustering matrices, re-ranking). <= 0 selects the GOMAXPROCS default,
+	// 1 forces the sequential path; the selection is identical either way.
+	Workers int
 }
 
 // normalized returns the problem with defaults filled in.
@@ -45,20 +50,20 @@ type Algorithm interface {
 }
 
 // noveltyScores computes each tuple's novelty: its minimum distance to any
-// query tuple — the quantity DUST re-ranks by (§5.3).
+// query tuple — the quantity DUST re-ranks by (§5.3). Tuples are scored in
+// parallel; each tuple's query scan stays sequential, so scores are
+// bit-identical for every worker count.
 func noveltyScores(p Problem) []float64 {
-	out := make([]float64, len(p.Tuples))
-	for i, t := range p.Tuples {
+	return par.Map(p.Workers, len(p.Tuples), func(i int) float64 {
 		minD := 0.0
 		for qi, q := range p.Query {
-			d := p.Dist(t, q)
+			d := p.Dist(p.Tuples[i], q)
 			if qi == 0 || d < minD {
 				minD = d
 			}
 		}
-		out[i] = minD
-	}
-	return out
+		return minD
+	})
 }
 
 // relevanceScores computes IR-style relevance: similarity to the query
@@ -81,16 +86,14 @@ func relevanceScores(p Problem) []float64 {
 // avgQueryDistance computes each tuple's mean distance to the query tuples
 // (DUST's tie-breaking score, §5.3).
 func avgQueryDistance(p Problem) []float64 {
-	avg := make([]float64, len(p.Tuples))
 	if len(p.Query) == 0 {
-		return avg
+		return make([]float64, len(p.Tuples))
 	}
-	for i, t := range p.Tuples {
+	return par.Map(p.Workers, len(p.Tuples), func(i int) float64 {
 		var s float64
 		for _, q := range p.Query {
-			s += p.Dist(t, q)
+			s += p.Dist(p.Tuples[i], q)
 		}
-		avg[i] = s / float64(len(p.Query))
-	}
-	return avg
+		return s / float64(len(p.Query))
+	})
 }

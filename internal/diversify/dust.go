@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dust/internal/cluster"
+	"dust/internal/par"
 	"dust/internal/vector"
 )
 
@@ -79,7 +80,9 @@ func (d *DUST) Select(p Problem) []int {
 
 // Prune returns the indices of the s tuples with the greatest distance to
 // their source-table mean embedding (§5.1), preserving a deterministic
-// order on ties.
+// order on ties. The per-tuple distance scoring — the pruning stage's hot
+// loop — runs in parallel across p.Workers; scores are written by tuple
+// index, so the ranking is identical for every worker count.
 func Prune(p Problem, s int) []int {
 	n := len(p.Tuples)
 	if s >= n {
@@ -103,9 +106,9 @@ func Prune(p Problem, s int) []int {
 		score float64
 	}
 	all := make([]scored, n)
-	for i, t := range p.Tuples {
-		all[i] = scored{i, p.Dist(means[groups[i]], t)}
-	}
+	par.For(p.Workers, n, func(i int) {
+		all[i] = scored{i, p.Dist(means[groups[i]], p.Tuples[i])}
+	})
 	sort.Slice(all, func(a, b int) bool {
 		if all[a].score != all[b].score {
 			return all[a].score > all[b].score
@@ -136,12 +139,12 @@ func clusterMedoids(p Problem, kept []int, numClusters int) []int {
 	for i, idx := range kept {
 		vecs[i] = p.Tuples[idx]
 	}
-	m := cluster.NewMatrix(vecs, p.Dist)
+	m := cluster.NewMatrixWorkers(vecs, p.Dist, p.Workers)
 	dend := cluster.Agglomerative(m, cluster.Options{Linkage: cluster.Average})
 	labels, k := dend.Cut(numClusters)
 	var out []int
 	for _, members := range cluster.Members(labels, k) {
-		out = append(out, kept[m.Medoid(members)])
+		out = append(out, kept[m.MedoidWorkers(members, p.Workers)])
 	}
 	sort.Ints(out)
 	return out
@@ -162,7 +165,7 @@ func clusterRandomReps(p Problem, kept []int, numClusters int, seed int64) []int
 	for i, idx := range kept {
 		vecs[i] = p.Tuples[idx]
 	}
-	m := cluster.NewMatrix(vecs, p.Dist)
+	m := cluster.NewMatrixWorkers(vecs, p.Dist, p.Workers)
 	dend := cluster.Agglomerative(m, cluster.Options{Linkage: cluster.Average})
 	labels, k := dend.Cut(numClusters)
 	rng := rand.New(rand.NewSource(seed))
@@ -185,8 +188,10 @@ func RerankByQueryDistance(p Problem, candidates []int) []int {
 	}
 	minD := make([]float64, len(candidates))
 	avgD := make([]float64, len(candidates))
-	for ci, idx := range candidates {
-		t := p.Tuples[idx]
+	// Candidates score in parallel; each candidate's query scan accumulates
+	// sequentially, keeping the scores bit-identical for any worker count.
+	par.For(p.Workers, len(candidates), func(ci int) {
+		t := p.Tuples[candidates[ci]]
 		var sum float64
 		for qi, q := range p.Query {
 			d := p.Dist(t, q)
@@ -196,7 +201,7 @@ func RerankByQueryDistance(p Problem, candidates []int) []int {
 			}
 		}
 		avgD[ci] = sum / float64(len(p.Query))
-	}
+	})
 	order := make([]int, len(candidates))
 	for i := range order {
 		order[i] = i

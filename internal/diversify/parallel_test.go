@@ -1,0 +1,97 @@
+package diversify
+
+import (
+	"testing"
+
+	"dust/internal/vector"
+)
+
+// parallelProblem builds a deterministic workload with several provenance
+// groups, large enough that Prune and the cluster matrices actually chunk.
+func parallelProblem(n, workers int) Problem {
+	state := uint64(7)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>40)/float64(1<<24) - 0.5
+	}
+	tuples := make([]vector.Vec, n)
+	groups := make([]int, n)
+	for i := range tuples {
+		v := make(vector.Vec, 12)
+		for j := range v {
+			v[j] = next()
+		}
+		tuples[i] = v
+		groups[i] = i % 5
+	}
+	return Problem{
+		Query:   tuples[:7],
+		Tuples:  tuples[7:],
+		Groups:  groups[7:],
+		K:       15,
+		Dist:    vector.CosineDistance,
+		Workers: workers,
+	}
+}
+
+func assertSameIndices(t *testing.T, label string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d indices, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: index %d = %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestPruneDeterministicAcrossWorkers(t *testing.T) {
+	want := Prune(parallelProblem(700, 1), 250)
+	for _, workers := range []int{2, 8} {
+		got := Prune(parallelProblem(700, workers), 250)
+		assertSameIndices(t, "Prune", got, want)
+	}
+}
+
+func TestRerankDeterministicAcrossWorkers(t *testing.T) {
+	candidates := make([]int, 300)
+	for i := range candidates {
+		candidates[i] = i * 2
+	}
+	want := RerankByQueryDistance(parallelProblem(700, 1), candidates)
+	for _, workers := range []int{2, 8} {
+		got := RerankByQueryDistance(parallelProblem(700, workers), candidates)
+		assertSameIndices(t, "RerankByQueryDistance", got, want)
+	}
+}
+
+func TestDUSTSelectDeterministicAcrossWorkers(t *testing.T) {
+	algo := NewDUST()
+	algo.S = 300 // force the pruning stage to run
+	want := algo.Select(parallelProblem(900, 1))
+	if len(want) == 0 {
+		t.Fatal("sequential DUST selected nothing")
+	}
+	for _, workers := range []int{2, 8} {
+		got := algo.Select(parallelProblem(900, workers))
+		assertSameIndices(t, "DUST.Select", got, want)
+	}
+}
+
+func TestBaselineScoresDeterministicAcrossWorkers(t *testing.T) {
+	want := noveltyScores(parallelProblem(500, 1))
+	wantAvg := avgQueryDistance(parallelProblem(500, 1))
+	for _, workers := range []int{2, 8} {
+		got := noveltyScores(parallelProblem(500, workers))
+		gotAvg := avgQueryDistance(parallelProblem(500, workers))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: novelty[%d] = %v, want %v", workers, i, got[i], want[i])
+			}
+			if gotAvg[i] != wantAvg[i] {
+				t.Fatalf("workers=%d: avg[%d] = %v, want %v", workers, i, gotAvg[i], wantAvg[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package embed
+
+import (
+	"fmt"
+	"testing"
+)
+
+func batchRows(n int) ([]string, [][]string) {
+	headers := []string{"Park Name", "Supervisor", "City", "Country"}
+	rows := make([][]string, n)
+	for i := range rows {
+		rows[i] = []string{
+			fmt.Sprintf("Park %d", i),
+			fmt.Sprintf("Supervisor %d", i%17),
+			fmt.Sprintf("City %d", i%29),
+			"USA",
+		}
+	}
+	return headers, rows
+}
+
+func TestEncodeTupleBatchMatchesSequential(t *testing.T) {
+	enc := NewRoBERTa()
+	headers, rows := batchRows(211)
+	want := enc.EncodeTupleBatch(headers, rows, 1)
+	if len(want) != len(rows) {
+		t.Fatalf("batch returned %d vectors, want %d", len(want), len(rows))
+	}
+	for i, r := range rows {
+		one := enc.EncodeTuple(headers, r)
+		for j := range one {
+			if want[i][j] != one[j] {
+				t.Fatalf("row %d: batch[%d] = %v, EncodeTuple = %v", i, j, want[i][j], one[j])
+			}
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		got := enc.EncodeTupleBatch(headers, rows, workers)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("workers=%d row %d dim %d: %v, want %v",
+						workers, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeTupleBatchEmpty(t *testing.T) {
+	enc := NewFastText()
+	if got := enc.EncodeTupleBatch([]string{"A"}, nil, 8); len(got) != 0 {
+		t.Errorf("empty batch returned %d vectors", len(got))
+	}
+}

@@ -3,7 +3,9 @@ package embed
 import (
 	"strings"
 
+	"dust/internal/par"
 	"dust/internal/tokenize"
+	"dust/internal/vector"
 )
 
 // BERT-style marker tokens used by the paper's serialization (§4).
@@ -58,6 +60,17 @@ func TupleTokens(headers, values []string) []string {
 // serialization.
 func (e *Encoder) EncodeTuple(headers, values []string) []float64 {
 	return e.EncodeTokens(TupleTokens(headers, values))
+}
+
+// EncodeTupleBatch embeds many tuples sharing one header schema across at
+// most workers goroutines (workers <= 0 selects the GOMAXPROCS default,
+// workers == 1 is the sequential path). The encoder is stateless after
+// construction, so the output is bit-identical to calling EncodeTuple row
+// by row.
+func (e *Encoder) EncodeTupleBatch(headers []string, rows [][]string, workers int) []vector.Vec {
+	return par.Map(workers, len(rows), func(i int) vector.Vec {
+		return e.EncodeTuple(headers, rows[i])
+	})
 }
 
 // EncodeText tokenizes s and embeds it.

@@ -132,7 +132,14 @@ func NewIndex(h *Hasher, bands int) (*Index, error) {
 // Add signs the value set and indexes it under key. It returns the internal
 // id assigned to the key.
 func (idx *Index) Add(key string, values []string) int {
-	sig := idx.hasher.Sign(values)
+	return idx.AddSignature(key, idx.hasher.Sign(values))
+}
+
+// AddSignature indexes a precomputed signature under key, for callers that
+// already signed the value set (e.g. parallel index builds that compute
+// signatures up front and insert them sequentially). The signature must
+// come from this index's hasher.
+func (idx *Index) AddSignature(key string, sig Signature) int {
 	id := len(idx.keys)
 	idx.keys = append(idx.keys, key)
 	idx.sigs = append(idx.sigs, sig)

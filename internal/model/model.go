@@ -7,6 +7,7 @@ import (
 
 	"dust/internal/datagen"
 	"dust/internal/nn"
+	"dust/internal/par"
 	"dust/internal/vector"
 )
 
@@ -98,6 +99,16 @@ func (m *Model) EncodeTuple(headers, values []string) vector.Vec {
 	return m.net.Forward(m.feat.Features(headers, values), false)
 }
 
+// EncodeTupleBatch embeds many tuples sharing one header schema across at
+// most workers goroutines. Inference forwards are stateless (nn layers
+// cache activations only during training), so the batch is bit-identical
+// to sequential EncodeTuple calls.
+func (m *Model) EncodeTupleBatch(headers []string, rows [][]string, workers int) []vector.Vec {
+	return par.Map(workers, len(rows), func(i int) vector.Vec {
+		return m.EncodeTuple(headers, rows[i])
+	})
+}
+
 // Distance returns the cosine distance between two tuples under the model.
 func (m *Model) Distance(h1, v1, h2, v2 []string) float64 {
 	return vector.CosineDistance(m.EncodeTuple(h1, v1), m.EncodeTuple(h2, v2))
@@ -131,6 +142,29 @@ func Accuracy(enc TupleEncoder, pairs []datagen.TuplePair, threshold float64) fl
 type TupleEncoder interface {
 	Name() string
 	EncodeTuple(headers, values []string) vector.Vec
+}
+
+// BatchTupleEncoder is a TupleEncoder that can embed many tuples
+// concurrently. Both embed.Encoder and Model implement it.
+type BatchTupleEncoder interface {
+	TupleEncoder
+	EncodeTupleBatch(headers []string, rows [][]string, workers int) []vector.Vec
+}
+
+// EncodeBatch embeds every row with enc. Encoders exposing the batch
+// surface run across workers goroutines; arbitrary TupleEncoders are not
+// guaranteed concurrency-safe, so they fall back to a sequential loop.
+// Either way the output is index-aligned with rows and identical to
+// per-row EncodeTuple calls.
+func EncodeBatch(enc TupleEncoder, headers []string, rows [][]string, workers int) []vector.Vec {
+	if b, ok := enc.(BatchTupleEncoder); ok {
+		return b.EncodeTupleBatch(headers, rows, workers)
+	}
+	out := make([]vector.Vec, len(rows))
+	for i, r := range rows {
+		out[i] = enc.EncodeTuple(headers, r)
+	}
+	return out
 }
 
 // Save persists the model (featurizer config + network weights).

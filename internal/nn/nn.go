@@ -15,11 +15,14 @@ import (
 // Layer is one differentiable stage of a feed-forward network.
 type Layer interface {
 	// Forward maps the input to the output. When train is false the layer
-	// must behave deterministically (dropout becomes the identity).
+	// must behave deterministically (dropout becomes the identity) and must
+	// not mutate any layer state: inference forwards may run concurrently
+	// (e.g. batch tuple encoding and concurrent pipeline queries).
+	// Activations are cached for Backward only when train is true.
 	Forward(x []float64, train bool) []float64
 	// Backward receives dL/d(output) and returns dL/d(input), accumulating
 	// parameter gradients internally. It must be called right after the
-	// Forward whose activations it needs.
+	// train=true Forward whose activations it needs.
 	Backward(grad []float64) []float64
 	// Params returns parameter/gradient pairs for the optimizer; layers
 	// without parameters return nil.
@@ -56,11 +59,13 @@ func NewLinear(in, out int, rng *rand.Rand) *Linear {
 }
 
 // Forward implements Layer.
-func (l *Linear) Forward(x []float64, _ bool) []float64 {
+func (l *Linear) Forward(x []float64, train bool) []float64 {
 	if len(x) != l.In {
 		panic(fmt.Sprintf("nn: Linear input dim %d, want %d", len(x), l.In))
 	}
-	l.x = x
+	if train {
+		l.x = x
+	}
 	y := make([]float64, l.Out)
 	for o := 0; o < l.Out; o++ {
 		row := l.w[o*l.In : (o+1)*l.In]
@@ -103,12 +108,14 @@ type Tanh struct {
 }
 
 // Forward implements Layer.
-func (t *Tanh) Forward(x []float64, _ bool) []float64 {
+func (t *Tanh) Forward(x []float64, train bool) []float64 {
 	y := make([]float64, len(x))
 	for i, v := range x {
 		y[i] = math.Tanh(v)
 	}
-	t.y = y
+	if train {
+		t.y = y
+	}
 	return y
 }
 
@@ -141,7 +148,11 @@ func NewDropout(p float64, rng *rand.Rand) *Dropout {
 
 // Forward implements Layer.
 func (d *Dropout) Forward(x []float64, train bool) []float64 {
-	if !train || d.P <= 0 {
+	if !train {
+		// Identity, and no state writes: inference must stay race-free.
+		return x
+	}
+	if d.P <= 0 {
 		d.mask = nil
 		return x
 	}

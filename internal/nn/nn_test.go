@@ -39,7 +39,9 @@ func TestBackpropMatchesNumericalGradient(t *testing.T) {
 	}
 
 	net.ZeroGrad()
-	y := net.Forward(x, false)
+	// Backward needs cached activations, which only a train=true Forward
+	// records (the net has no dropout, so outputs match eval mode).
+	y := net.Forward(x, true)
 	ones := make([]float64, len(y))
 	for i := range ones {
 		ones[i] = 1

@@ -8,6 +8,7 @@ import (
 	"dust/internal/embed"
 	"dust/internal/lake"
 	"dust/internal/minhash"
+	"dust/internal/par"
 	"dust/internal/table"
 	"dust/internal/tokenize"
 	"dust/internal/vector"
@@ -21,8 +22,9 @@ import (
 // value-overlap candidates so the signal does not require scanning the
 // whole lake per column.
 type D3L struct {
-	lake *lake.Lake
-	enc  *embed.Encoder
+	lake    *lake.Lake
+	enc     *embed.Encoder
+	workers int
 
 	hasher  *minhash.Hasher
 	sigs    map[string][]minhash.Signature // per table: column signatures
@@ -32,11 +34,24 @@ type D3L struct {
 	lsh     *minhash.Index
 }
 
-// NewD3L indexes the lake.
-func NewD3L(l *lake.Lake) *D3L {
+// d3lTableIndex holds the per-table signals computed during indexing.
+type d3lTableIndex struct {
+	sigs []minhash.Signature
+	vecs []vector.Vec
+	fps  []formatProfile
+	nps  []numericProfile
+}
+
+// NewD3L indexes the lake. The five per-column signals are computed in
+// parallel across tables; only the LSH inserts (which mutate the shared
+// banding index) run sequentially, in table order, so the index layout is
+// deterministic.
+func NewD3L(l *lake.Lake, opts ...Option) *D3L {
+	o := applyOptions(opts)
 	d := &D3L{
 		lake:    l,
 		enc:     embed.NewFastText(),
+		workers: o.workers,
 		hasher:  minhash.NewHasher(128),
 		sigs:    map[string][]minhash.Signature{},
 		vecs:    map[string][]vector.Vec{},
@@ -44,30 +59,48 @@ func NewD3L(l *lake.Lake) *D3L {
 		numeric: map[string][]numericProfile{},
 	}
 	d.lsh, _ = minhash.NewIndex(d.hasher, 32)
-	for _, t := range l.Tables() {
+	tables := l.Tables()
+	indexed := par.Map(d.workers, len(tables), func(ti int) d3lTableIndex {
+		t := tables[ti]
 		n := t.NumCols()
-		sigs := make([]minhash.Signature, n)
-		vecs := make([]vector.Vec, n)
-		fps := make([]formatProfile, n)
-		nps := make([]numericProfile, n)
+		idx := d3lTableIndex{
+			sigs: make([]minhash.Signature, n),
+			vecs: make([]vector.Vec, n),
+			fps:  make([]formatProfile, n),
+			nps:  make([]numericProfile, n),
+		}
 		for i := range t.Columns {
 			col := &t.Columns[i]
-			sigs[i] = d.hasher.Sign(col.Values)
-			vecs[i] = d.embedColumn(col)
-			fps[i] = profileFormat(col.Values)
-			nps[i] = profileNumeric(col.Values)
-			d.lsh.Add(t.Name, col.Values)
+			idx.sigs[i] = d.hasher.Sign(col.Values)
+			idx.vecs[i] = d.embedColumn(col)
+			idx.fps[i] = profileFormat(col.Values)
+			idx.nps[i] = profileNumeric(col.Values)
 		}
-		d.sigs[t.Name] = sigs
-		d.vecs[t.Name] = vecs
-		d.formats[t.Name] = fps
-		d.numeric[t.Name] = nps
+		return idx
+	})
+	for ti, t := range tables {
+		for i := range t.Columns {
+			d.lsh.AddSignature(t.Name, indexed[ti].sigs[i])
+		}
+		d.sigs[t.Name] = indexed[ti].sigs
+		d.vecs[t.Name] = indexed[ti].vecs
+		d.formats[t.Name] = indexed[ti].fps
+		d.numeric[t.Name] = indexed[ti].nps
 	}
 	return d
 }
 
 // Name implements Searcher.
 func (d *D3L) Name() string { return "d3l" }
+
+// QueryWorkers implements QueryBounded: the returned searcher shares this
+// searcher's index (immutable after construction) and scores queries with
+// at most n workers.
+func (d *D3L) QueryWorkers(n int) Searcher {
+	c := *d
+	c.workers = n
+	return &c
+}
 
 func (d *D3L) embedColumn(col *table.Column) vector.Vec {
 	var toks []string
@@ -103,7 +136,7 @@ func (d *D3L) TopK(query *table.Table, k int) []Scored {
 		qFmts[i] = profileFormat(col.Values)
 		qNums[i] = profileNumeric(col.Values)
 	}
-	return rankAll(d.lake, k, func(t *table.Table) float64 {
+	return rankAll(d.lake, k, d.workers, func(t *table.Table) float64 {
 		if t.NumCols() == 0 || n == 0 {
 			return 0
 		}

@@ -1,0 +1,70 @@
+package search
+
+import (
+	"testing"
+
+	"dust/internal/datagen"
+)
+
+func parallelBenchmark() *datagen.Benchmark {
+	return datagen.Generate("par-search", datagen.Config{
+		Seed: 77, Domains: 4, TablesPerBase: 5, BaseRows: 40, MinRows: 10, MaxRows: 20,
+	})
+}
+
+func assertSameHits(t *testing.T, label string, got, want []Scored) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d hits, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Table.Name != want[i].Table.Name || got[i].Score != want[i].Score {
+			t.Fatalf("%s: hit %d = (%s, %v), want (%s, %v)", label, i,
+				got[i].Table.Name, got[i].Score, want[i].Table.Name, want[i].Score)
+		}
+	}
+}
+
+func TestStarmieTopKDeterministicAcrossWorkers(t *testing.T) {
+	b := parallelBenchmark()
+	seq := NewStarmie(b.Lake, WithWorkers(1))
+	for _, workers := range []int{2, 8} {
+		par := NewStarmie(b.Lake, WithWorkers(workers))
+		for _, q := range b.Queries {
+			assertSameHits(t, "starmie", par.TopK(q, 8), seq.TopK(q, 8))
+		}
+	}
+}
+
+func TestD3LTopKDeterministicAcrossWorkers(t *testing.T) {
+	b := parallelBenchmark()
+	seq := NewD3L(b.Lake, WithWorkers(1))
+	for _, workers := range []int{2, 8} {
+		par := NewD3L(b.Lake, WithWorkers(workers))
+		for _, q := range b.Queries {
+			assertSameHits(t, "d3l", par.TopK(q, 8), seq.TopK(q, 8))
+		}
+	}
+}
+
+func TestTupleSearchDeterministicAcrossWorkers(t *testing.T) {
+	b := parallelBenchmark()
+	seq := NewTupleSearch(b.Lake.Tables(), WithWorkers(1))
+	q := b.Queries[0]
+	want := seq.TopK(q, 20)
+	for _, workers := range []int{2, 8} {
+		par := NewTupleSearch(b.Lake.Tables(), WithWorkers(workers))
+		got := par.TopK(q, 20)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: got %d hits, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Table.Name != want[i].Table.Name || got[i].Row != want[i].Row ||
+				got[i].Score != want[i].Score {
+				t.Fatalf("workers=%d: hit %d = (%s, %d, %v), want (%s, %d, %v)",
+					workers, i, got[i].Table.Name, got[i].Row, got[i].Score,
+					want[i].Table.Name, want[i].Row, want[i].Score)
+			}
+		}
+	}
+}

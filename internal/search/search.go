@@ -12,6 +12,7 @@ import (
 
 	"dust/internal/datagen"
 	"dust/internal/lake"
+	"dust/internal/par"
 	"dust/internal/table"
 )
 
@@ -27,13 +28,45 @@ type Searcher interface {
 	TopK(query *table.Table, k int) []Scored
 }
 
-// rankAll scores every lake table and returns the top k, ties broken by
-// table name for determinism.
-func rankAll(l *lake.Lake, k int, score func(t *table.Table) float64) []Scored {
-	out := make([]Scored, 0, l.Len())
-	for _, t := range l.Tables() {
-		out = append(out, Scored{Table: t, Score: score(t)})
+// QueryBounded is a Searcher whose query-time scoring parallelism can be
+// re-bounded without re-indexing: QueryWorkers returns a searcher sharing
+// the same immutable index that scores queries with at most n workers.
+// Batch-serving callers use it to stop per-query fan-out from multiplying
+// their own query-level parallelism.
+type QueryBounded interface {
+	Searcher
+	QueryWorkers(n int) Searcher
+}
+
+// Option configures a searcher's execution, shared by every searcher in
+// this package.
+type Option func(*options)
+
+type options struct {
+	workers int
+}
+
+// WithWorkers bounds the parallelism of index construction and query
+// scoring; n <= 0 selects the GOMAXPROCS-derived default and n == 1 forces
+// the sequential path. Results are identical for every worker count.
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+func applyOptions(opts []Option) options {
+	var o options
+	for _, f := range opts {
+		f(&o)
 	}
+	return o
+}
+
+// rankAll scores every lake table (in parallel across workers) and returns
+// the top k, ties broken by table name for determinism. Scores are written
+// by table index, so the ranking is identical for every worker count.
+func rankAll(l *lake.Lake, k, workers int, score func(t *table.Table) float64) []Scored {
+	tables := l.Tables()
+	out := par.Map(workers, len(tables), func(i int) Scored {
+		return Scored{Table: tables[i], Score: score(tables[i])}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score

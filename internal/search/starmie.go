@@ -4,6 +4,7 @@ import (
 	"dust/internal/embed"
 	"dust/internal/lake"
 	"dust/internal/match"
+	"dust/internal/par"
 	"dust/internal/table"
 	"dust/internal/tokenize"
 	"dust/internal/vector"
@@ -15,42 +16,61 @@ import (
 // by maximum-weight bipartite matching over cosine similarity and the
 // normalized matching weight is the table's unionability score (§6.2.3).
 type Starmie struct {
-	enc    embed.StarmieEncoder
-	lake   *lake.Lake
-	corpus *tokenize.Corpus
-	cols   map[string][]vector.Vec // table name -> column embeddings
+	enc     embed.StarmieEncoder
+	lake    *lake.Lake
+	corpus  *tokenize.Corpus
+	cols    map[string][]vector.Vec // table name -> column embeddings
+	workers int
 	// MinSim drops column matches below this similarity (Starmie's
 	// verification threshold).
 	MinSim float64
 }
 
 // NewStarmie indexes the lake with the default Starmie encoder.
-func NewStarmie(l *lake.Lake) *Starmie {
-	return NewStarmieWithEncoder(l, embed.NewStarmie())
+func NewStarmie(l *lake.Lake, opts ...Option) *Starmie {
+	return NewStarmieWithEncoder(l, embed.NewStarmie(), opts...)
 }
 
-// NewStarmieWithEncoder indexes the lake with a custom encoder.
-func NewStarmieWithEncoder(l *lake.Lake, enc embed.StarmieEncoder) *Starmie {
+// NewStarmieWithEncoder indexes the lake with a custom encoder. The
+// per-table column embedding pass — the dominant index-time cost — runs in
+// parallel; the corpus is built sequentially first so every worker reads
+// the same frozen document frequencies.
+func NewStarmieWithEncoder(l *lake.Lake, enc embed.StarmieEncoder, opts ...Option) *Starmie {
+	o := applyOptions(opts)
 	s := &Starmie{
-		enc:    enc,
-		lake:   l,
-		corpus: &tokenize.Corpus{},
-		cols:   make(map[string][]vector.Vec, l.Len()),
-		MinSim: 0.3,
+		enc:     enc,
+		lake:    l,
+		corpus:  &tokenize.Corpus{},
+		cols:    make(map[string][]vector.Vec, l.Len()),
+		workers: o.workers,
+		MinSim:  0.3,
 	}
-	for _, t := range l.Tables() {
+	tables := l.Tables()
+	for _, t := range tables {
 		for i := range t.Columns {
 			s.corpus.AddDocument(embed.ColumnTokens(&t.Columns[i]))
 		}
 	}
-	for _, t := range l.Tables() {
-		s.cols[t.Name] = enc.EncodeTableColumns(t, s.corpus)
+	embedded := par.Map(s.workers, len(tables), func(i int) []vector.Vec {
+		return enc.EncodeTableColumns(tables[i], s.corpus)
+	})
+	for i, t := range tables {
+		s.cols[t.Name] = embedded[i]
 	}
 	return s
 }
 
 // Name implements Searcher.
 func (s *Starmie) Name() string { return "starmie" }
+
+// QueryWorkers implements QueryBounded: the returned searcher shares this
+// searcher's index (immutable after construction) and scores queries with
+// at most n workers.
+func (s *Starmie) QueryWorkers(n int) Searcher {
+	c := *s
+	c.workers = n
+	return &c
+}
 
 // Score computes the normalized bipartite matching weight between the query
 // and one lake table.
@@ -77,10 +97,10 @@ func (s *Starmie) EncodeQuery(q *table.Table) []vector.Vec {
 	return s.enc.EncodeTableColumns(q, s.corpus)
 }
 
-// TopK implements Searcher.
+// TopK implements Searcher. Candidate tables are scored in parallel.
 func (s *Starmie) TopK(query *table.Table, k int) []Scored {
 	qCols := s.EncodeQuery(query)
-	return rankAll(s.lake, k, func(t *table.Table) float64 {
+	return rankAll(s.lake, k, s.workers, func(t *table.Table) float64 {
 		return s.Score(qCols, t)
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"dust/internal/embed"
+	"dust/internal/par"
 	"dust/internal/table"
 	"dust/internal/vector"
 )
@@ -23,21 +24,33 @@ type ScoredTuple struct {
 // similar to — often identical to — the query's own rows, which is exactly
 // the redundancy phenomenon DUST addresses.
 type TupleSearch struct {
-	enc    *embed.Encoder
-	tuples []ScoredTuple // score unused at index time
-	vecs   []vector.Vec
+	enc     *embed.Encoder
+	workers int
+	tuples  []ScoredTuple // score unused at index time
+	vecs    []vector.Vec
 }
 
-// NewTupleSearch indexes every tuple of the given tables.
-func NewTupleSearch(tables []*table.Table) *TupleSearch {
-	ts := &TupleSearch{enc: embed.NewRoBERTa()}
+// NewTupleSearch indexes every tuple of the given tables. Embedding runs
+// as one parallel map over the flattened (headers, row) work list so the
+// full worker budget applies even when the lake is many small tables.
+func NewTupleSearch(tables []*table.Table, opts ...Option) *TupleSearch {
+	o := applyOptions(opts)
+	ts := &TupleSearch{enc: embed.NewRoBERTa(), workers: o.workers}
+	type job struct {
+		headers []string
+		row     []string
+	}
+	var jobs []job
 	for _, t := range tables {
 		headers := t.Headers()
 		for r := 0; r < t.NumRows(); r++ {
 			ts.tuples = append(ts.tuples, ScoredTuple{Table: t, Row: r})
-			ts.vecs = append(ts.vecs, ts.enc.EncodeTuple(headers, t.Row(r)))
+			jobs = append(jobs, job{headers, t.Row(r)})
 		}
 	}
+	ts.vecs = par.Map(ts.workers, len(jobs), func(i int) vector.Vec {
+		return ts.enc.EncodeTuple(jobs[i].headers, jobs[i].row)
+	})
 	return ts
 }
 
@@ -48,15 +61,19 @@ func (ts *TupleSearch) Name() string { return "starmie-tuples" }
 func (ts *TupleSearch) Len() int { return len(ts.tuples) }
 
 // TopK returns the k tuples most similar to the query table's tuples.
+// Query embedding and per-tuple scoring both run in parallel; scores are
+// written by tuple index, so the stable sort sees the same input for every
+// worker count.
 func (ts *TupleSearch) TopK(query *table.Table, k int) []ScoredTuple {
 	headers := query.Headers()
-	qVecs := make([]vector.Vec, query.NumRows())
-	for r := range qVecs {
-		qVecs[r] = ts.enc.EncodeTuple(headers, query.Row(r))
+	rows := make([][]string, query.NumRows())
+	for r := range rows {
+		rows[r] = query.Row(r)
 	}
+	qVecs := ts.enc.EncodeTupleBatch(headers, rows, ts.workers)
 	out := make([]ScoredTuple, len(ts.tuples))
 	copy(out, ts.tuples)
-	for i := range out {
+	par.For(ts.workers, len(out), func(i int) {
 		best := 0.0
 		for _, qv := range qVecs {
 			if sim := vector.Cosine(qv, ts.vecs[i]); sim > best {
@@ -64,7 +81,7 @@ func (ts *TupleSearch) TopK(query *table.Table, k int) []ScoredTuple {
 			}
 		}
 		out[i].Score = best
-	}
+	})
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
 	if k > 0 && len(out) > k {
 		out = out[:k]
