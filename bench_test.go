@@ -8,7 +8,9 @@ package dust_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 
 	"dust"
@@ -16,6 +18,7 @@ import (
 	"dust/internal/diversify"
 	"dust/internal/embed"
 	"dust/internal/experiments"
+	"dust/internal/lake"
 	"dust/internal/model"
 	"dust/internal/search"
 	"dust/internal/vector"
@@ -105,6 +108,48 @@ func BenchmarkPipelineSearch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkColdVsWarmStart quantifies index persistence on the Fig. 5
+// mythology lake: "cold" loads the lake CSVs and builds the Starmie index
+// from scratch; "warm" loads the same CSVs plus the index saved by
+// SaveIndex. The acceptance bar for the persistence subsystem is warm >= 5x
+// faster than cold (see BENCH_warmstart.json for recorded runs).
+func BenchmarkColdVsWarmStart(b *testing.B) {
+	bench := datagen.Generate("myth-bench", datagen.Config{
+		Seed: 2026, TablesPerBase: 20, BaseRows: 160, MinRows: 30, MaxRows: 80,
+	})
+	l := lake.New("mythology")
+	for _, t := range bench.Lake.Tables() {
+		if strings.HasPrefix(t.Name, "mythology_") {
+			l.MustAdd(t)
+		}
+	}
+	dir := b.TempDir()
+	lakeDir := filepath.Join(dir, "lake")
+	idxDir := filepath.Join(dir, "index")
+	if err := l.Save(lakeDir); err != nil {
+		b.Fatal(err)
+	}
+	if err := dust.New(l).SaveIndex(idxDir); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ll, err := lake.Load(lakeDir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dust.New(ll)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dust.LoadPipeline(lakeDir, idxDir); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkParallelPipeline measures the end-to-end quick pipeline (index +

@@ -4,9 +4,13 @@
 // Usage:
 //
 //	dustgen -bench santos -out ./santos
+//	dustgen -bench santos -out ./santos -index
 //
 // The output directory receives lake/<table>.csv, queries/<query>.csv, and
-// groundtruth.csv (query table name -> unionable lake table names).
+// groundtruth.csv (query table name -> unionable lake table names). With
+// -index it also receives index/, a prebuilt search index that
+// `dustsearch -lake ./santos/lake -index-dir ./santos/index` warm-starts
+// from without re-embedding the lake.
 package main
 
 import (
@@ -16,13 +20,16 @@ import (
 	"os"
 	"path/filepath"
 
+	"dust"
 	"dust/internal/datagen"
 )
 
 func main() {
 	var (
-		bench = flag.String("bench", "santos", "benchmark: tus, tus-sampled, santos, ugen, imdb")
-		out   = flag.String("out", "", "output directory (required)")
+		bench    = flag.String("bench", "santos", "benchmark: tus, tus-sampled, santos, ugen, imdb")
+		out      = flag.String("out", "", "output directory (required)")
+		genIndex = flag.Bool("index", false, "also build the search index and save it under <out>/index")
+		workers  = flag.Int("workers", 0, "index-build parallelism (0 = all cores)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -53,6 +60,16 @@ func main() {
 	}
 	s := b.Lake.Stats()
 	fmt.Printf("wrote %s: %d queries, %s\n", b.Name, len(b.Queries), s)
+
+	if *genIndex {
+		idxDir := filepath.Join(*out, "index")
+		p := dust.New(b.Lake, dust.WithWorkers(*workers))
+		if err := p.SaveIndex(idxDir); err != nil {
+			fmt.Fprintln(os.Stderr, "dustgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote prebuilt index to %s\n", idxDir)
+	}
 }
 
 func write(b *datagen.Benchmark, dir string) error {

@@ -6,6 +6,12 @@
 //
 //	dustsearch -query q.csv -lake ./lake -k 20
 //	dustsearch -query q.csv -lake ./lake -k 50 -model dust.model -out diverse.csv
+//
+// With -index-dir the search index persists across runs: the first run
+// builds and saves it, later runs warm-start from disk instead of
+// re-indexing the lake. -save-index forces a rebuild of a stale index.
+//
+//	dustsearch -query q.csv -lake ./lake -index-dir ./lake.idx
 package main
 
 import (
@@ -29,10 +35,16 @@ func main() {
 		modelPath = flag.String("model", "", "fine-tuned model from dusttrain (optional)")
 		outPath   = flag.String("out", "", "write result CSV here instead of stdout")
 		workers   = flag.Int("workers", 0, "parallelism of indexing/embedding/diversification (0 = all cores, 1 = sequential)")
+		indexDir  = flag.String("index-dir", "", "saved-index directory: warm-start from it when present, create it otherwise")
+		saveIndex = flag.Bool("save-index", false, "rebuild the index and save it to -index-dir even if one exists")
 	)
 	flag.Parse()
 	if *queryPath == "" || *lakeDir == "" {
 		fmt.Fprintln(os.Stderr, "dustsearch: -query and -lake are required")
+		os.Exit(2)
+	}
+	if *saveIndex && *indexDir == "" {
+		fmt.Fprintln(os.Stderr, "dustsearch: -save-index requires -index-dir")
 		os.Exit(2)
 	}
 
@@ -58,7 +70,25 @@ func main() {
 		opts = append(opts, dust.WithTupleEncoder(m))
 	}
 
-	res, err := dust.New(l, opts...).Search(query, *k)
+	var p *dust.Pipeline
+	switch {
+	case *indexDir != "" && !*saveIndex && dust.HasIndex(*indexDir):
+		p, err = dust.LoadPipelineLake(l, *indexDir, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("warm start: loaded index from %s\n", *indexDir)
+	default:
+		p = dust.New(l, opts...)
+		if *indexDir != "" {
+			if err := p.SaveIndex(*indexDir); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("saved index to %s\n", *indexDir)
+		}
+	}
+
+	res, err := p.Search(query, *k)
 	if err != nil {
 		fatal(err)
 	}

@@ -35,6 +35,7 @@ import (
 // Pipeline wires the four stages of Algorithm 1. Construct with New and
 // customize with the With* options.
 type Pipeline struct {
+	lake        *lake.Lake
 	searcher    search.Searcher
 	columnEnc   embed.ColumnEncoder
 	tupleEnc    model.TupleEncoder
@@ -84,6 +85,7 @@ func WithWorkers(n int) Option {
 // New builds a Pipeline over a lake with the paper's default configuration.
 func New(l *lake.Lake, opts ...Option) *Pipeline {
 	p := &Pipeline{
+		lake:        l,
 		columnEnc:   embed.ColumnLevel{Model: embed.NewRoBERTa()},
 		tupleEnc:    embed.NewRoBERTa(embed.WithAnisotropy(0.05)),
 		diversifier: diversify.NewDUST(),

@@ -1,6 +1,7 @@
 package embed
 
 import (
+	"fmt"
 	"strings"
 
 	"dust/internal/par"
@@ -76,4 +77,15 @@ func (e *Encoder) EncodeTupleBatch(headers []string, rows [][]string, workers in
 // EncodeText tokenizes s and embeds it.
 func (e *Encoder) EncodeText(s string) []float64 {
 	return e.EncodeTokens(tokenize.Words(s))
+}
+
+// Fingerprint identifies the encoder's complete configuration — model
+// name, dimension, hash seed, anisotropy, noise, and contextuality — in one
+// stable string. Persisted indexes store it so that a saved index is only
+// ever loaded by an encoder that would reproduce its embeddings bit for
+// bit; any drift in the simulator defaults surfaces as a typed
+// encoder-mismatch error instead of silently wrong similarity scores.
+func (e *Encoder) Fingerprint() string {
+	return fmt.Sprintf("%s/d%d/s%x/a%g/n%g/c%t",
+		e.name, e.dim, e.seed, e.anisotropy, e.noise, e.contextual)
 }

@@ -43,6 +43,53 @@ func (l *Lake) MustAdd(t *table.Table) {
 	}
 }
 
+// Remove deletes the named table; removing an absent table is an error.
+// The insertion order of the remaining tables is preserved, so iteration
+// stays deterministic across arbitrary Add/Remove interleavings.
+func (l *Lake) Remove(name string) error {
+	if _, ok := l.tables[name]; !ok {
+		return fmt.Errorf("lake %s: no table %q", l.Name, name)
+	}
+	delete(l.tables, name)
+	for i, n := range l.order {
+		if n == name {
+			l.order = append(l.order[:i], l.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Rename changes a table's identity in place: the table keeps its position
+// in the iteration order and its Name field is updated to match. Renaming
+// an absent table or onto an existing name is an error.
+//
+// Rename only touches the lake. Search indexes key their state by table
+// name and do not observe it — rename an indexed table by removing it
+// under the old name and re-adding it under the new one (or rebuild).
+func (l *Lake) Rename(old, new string) error {
+	t, ok := l.tables[old]
+	if !ok {
+		return fmt.Errorf("lake %s: no table %q", l.Name, old)
+	}
+	if old == new {
+		return nil
+	}
+	if _, ok := l.tables[new]; ok {
+		return fmt.Errorf("lake %s: duplicate table %q", l.Name, new)
+	}
+	delete(l.tables, old)
+	t.Name = new
+	l.tables[new] = t
+	for i, n := range l.order {
+		if n == old {
+			l.order[i] = new
+			break
+		}
+	}
+	return nil
+}
+
 // Get returns the named table, or nil.
 func (l *Lake) Get(name string) *table.Table { return l.tables[name] }
 

@@ -93,3 +93,84 @@ func TestLoadMissingDir(t *testing.T) {
 		t.Error("Load of missing dir should error")
 	}
 }
+
+func TestRemovePreservesOrder(t *testing.T) {
+	l := New("test")
+	for _, n := range []string{"a", "b", "c", "d"} {
+		l.MustAdd(mkTable(n, 1))
+	}
+	if err := l.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Remove("b"); err == nil {
+		t.Error("removing an absent table should error")
+	}
+	want := []string{"a", "c", "d"}
+	got := l.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+	if l.Get("b") != nil {
+		t.Error("removed table still retrievable")
+	}
+	if l.Len() != 3 {
+		t.Errorf("Len = %d, want 3", l.Len())
+	}
+	// Re-adding after removal appends at the end, like a fresh Add.
+	l.MustAdd(mkTable("b", 1))
+	if names := l.Names(); names[len(names)-1] != "b" {
+		t.Errorf("re-added table not last: %v", names)
+	}
+}
+
+func TestRemoveFirstAndLast(t *testing.T) {
+	l := New("test")
+	for _, n := range []string{"a", "b", "c"} {
+		l.MustAdd(mkTable(n, 1))
+	}
+	if err := l.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Remove("c"); err != nil {
+		t.Fatal(err)
+	}
+	if names := l.Names(); len(names) != 1 || names[0] != "b" {
+		t.Errorf("Names = %v, want [b]", names)
+	}
+}
+
+func TestRename(t *testing.T) {
+	l := New("test")
+	for _, n := range []string{"a", "b", "c"} {
+		l.MustAdd(mkTable(n, 1))
+	}
+	if err := l.Rename("b", "bee"); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "bee", "c"}
+	for i, n := range l.Names() {
+		if n != want[i] {
+			t.Fatalf("Names = %v, want %v", l.Names(), want)
+		}
+	}
+	if got := l.Get("bee"); got == nil || got.Name != "bee" {
+		t.Error("renamed table's Name field not updated")
+	}
+	if l.Get("b") != nil {
+		t.Error("old name still resolves")
+	}
+	if err := l.Rename("missing", "x"); err == nil {
+		t.Error("renaming an absent table should error")
+	}
+	if err := l.Rename("a", "c"); err == nil {
+		t.Error("renaming onto an existing name should error")
+	}
+	if err := l.Rename("a", "a"); err != nil {
+		t.Errorf("no-op rename should succeed: %v", err)
+	}
+}

@@ -101,7 +101,11 @@ func ExactJaccard(a, b []string) float64 {
 }
 
 // Index is an LSH banding index over signatures: signatures agreeing on all
-// rows of any band land in the same bucket and become candidates.
+// rows of any band land in the same bucket and become candidates. Removal is
+// supported via tombstones — removed ids stay in the bucket lists but are
+// skipped by Query — with automatic compaction (a rebuild preserving the
+// surviving insertion order) once dead entries outnumber live ones, so an
+// evolving lake cannot grow the index without bound.
 type Index struct {
 	hasher  *Hasher
 	bands   int
@@ -109,6 +113,9 @@ type Index struct {
 	buckets []map[string][]int // one bucket map per band
 	keys    []string           // id -> external key
 	sigs    []Signature
+	byKey   map[string][]int // external key -> ids (for removal)
+	removed []bool           // id -> tombstoned
+	dead    int
 }
 
 // NewIndex creates an LSH index with the given number of bands; the hasher
@@ -122,6 +129,7 @@ func NewIndex(h *Hasher, bands int) (*Index, error) {
 		bands:   bands,
 		rows:    h.K() / bands,
 		buckets: make([]map[string][]int, bands),
+		byKey:   make(map[string][]int),
 	}
 	for i := range idx.buckets {
 		idx.buckets[i] = make(map[string][]int)
@@ -143,10 +151,63 @@ func (idx *Index) AddSignature(key string, sig Signature) int {
 	id := len(idx.keys)
 	idx.keys = append(idx.keys, key)
 	idx.sigs = append(idx.sigs, sig)
+	idx.removed = append(idx.removed, false)
+	idx.byKey[key] = append(idx.byKey[key], id)
 	for b := 0; b < idx.bands; b++ {
 		idx.buckets[b][bandKey(sig, b, idx.rows)] = append(idx.buckets[b][bandKey(sig, b, idx.rows)], id)
 	}
 	return id
+}
+
+// Remove tombstones every signature indexed under key and returns how many
+// were removed (0 if the key was never indexed). The index compacts itself
+// once dead entries outnumber live ones; compaction preserves the surviving
+// insertion order, so query results stay identical to an index rebuilt from
+// scratch over the surviving sets.
+func (idx *Index) Remove(key string) int {
+	ids := idx.byKey[key]
+	if len(ids) == 0 {
+		return 0
+	}
+	delete(idx.byKey, key)
+	for _, id := range ids {
+		if !idx.removed[id] {
+			idx.removed[id] = true
+			idx.dead++
+		}
+	}
+	if idx.dead > len(idx.keys)-idx.dead {
+		idx.compact()
+	}
+	return len(ids)
+}
+
+// compact rebuilds the bucket lists without tombstoned ids, renumbering the
+// survivors in their original insertion order.
+func (idx *Index) compact() {
+	keys := make([]string, 0, len(idx.keys)-idx.dead)
+	sigs := make([]Signature, 0, cap(keys))
+	byKey := make(map[string][]int, len(idx.byKey))
+	buckets := make([]map[string][]int, idx.bands)
+	for b := range buckets {
+		buckets[b] = make(map[string][]int)
+	}
+	for id, sig := range idx.sigs {
+		if idx.removed[id] {
+			continue
+		}
+		nid := len(keys)
+		key := idx.keys[id]
+		keys = append(keys, key)
+		sigs = append(sigs, sig)
+		byKey[key] = append(byKey[key], nid)
+		for b := 0; b < idx.bands; b++ {
+			buckets[b][bandKey(sig, b, idx.rows)] = append(buckets[b][bandKey(sig, b, idx.rows)], nid)
+		}
+	}
+	idx.keys, idx.sigs, idx.byKey, idx.buckets = keys, sigs, byKey, buckets
+	idx.removed = make([]bool, len(keys))
+	idx.dead = 0
 }
 
 // Candidate is a query result: an indexed key with its estimated Jaccard.
@@ -163,7 +224,7 @@ func (idx *Index) Query(values []string) []Candidate {
 	var out []Candidate
 	for b := 0; b < idx.bands; b++ {
 		for _, id := range idx.buckets[b][bandKey(sig, b, idx.rows)] {
-			if seen[id] {
+			if seen[id] || idx.removed[id] {
 				continue
 			}
 			seen[id] = true
@@ -173,8 +234,11 @@ func (idx *Index) Query(values []string) []Candidate {
 	return out
 }
 
-// Len returns the number of indexed sets.
-func (idx *Index) Len() int { return len(idx.keys) }
+// Len returns the number of indexed sets (excluding removed ones).
+func (idx *Index) Len() int { return len(idx.keys) - idx.dead }
+
+// Bands returns the number of LSH bands the index was created with.
+func (idx *Index) Bands() int { return idx.bands }
 
 func bandKey(sig Signature, band, rows int) string {
 	b := make([]byte, 0, rows*8)

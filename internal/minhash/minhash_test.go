@@ -168,3 +168,102 @@ func TestJaccardSelfProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestIndexRemove(t *testing.T) {
+	h := NewHasher(64)
+	idx, err := NewIndex(h, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := func(seed string) []string {
+		out := make([]string, 30)
+		for i := range out {
+			out[i] = fmt.Sprintf("%s-%d", seed, i)
+		}
+		return out
+	}
+	// Two signatures under the same key, one under another.
+	idx.Add("dup", set("x"))
+	idx.Add("dup", set("x"))
+	idx.Add("other", set("x"))
+	if idx.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", idx.Len())
+	}
+	if n := idx.Remove("dup"); n != 2 {
+		t.Errorf("Remove(dup) = %d, want 2", n)
+	}
+	if n := idx.Remove("dup"); n != 0 {
+		t.Errorf("second Remove(dup) = %d, want 0", n)
+	}
+	if idx.Len() != 1 {
+		t.Errorf("Len = %d, want 1", idx.Len())
+	}
+	for _, c := range idx.Query(set("x")) {
+		if c.Key == "dup" {
+			t.Error("removed key still returned by Query")
+		}
+	}
+}
+
+func TestIndexRemoveMatchesRebuild(t *testing.T) {
+	h := NewHasher(64)
+	set := func(seed string, n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("%s-%d", seed, i%7)
+		}
+		return out
+	}
+	keys := []string{"a", "b", "c", "d", "e", "f"}
+	build := func(skip map[string]bool) *Index {
+		idx, _ := NewIndex(h, 16)
+		for i, k := range keys {
+			if !skip[k] {
+				idx.Add(k, set(k, 20+i))
+			}
+		}
+		return idx
+	}
+	// Incrementally remove enough keys to trigger compaction, then compare
+	// every query against an index built without them.
+	inc := build(nil)
+	skip := map[string]bool{"a": true, "c": true, "d": true, "e": true}
+	for k := range skip {
+		inc.Remove(k)
+	}
+	fresh := build(skip)
+	if inc.Len() != fresh.Len() {
+		t.Fatalf("Len = %d, want %d", inc.Len(), fresh.Len())
+	}
+	for _, k := range keys {
+		q := set(k, 25)
+		got := map[string]float64{}
+		for _, c := range inc.Query(q) {
+			got[c.Key] = c.Estimated
+		}
+		want := map[string]float64{}
+		for _, c := range fresh.Query(q) {
+			want[c.Key] = c.Estimated
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %s: candidates %v, want %v", k, got, want)
+		}
+		for key, est := range want {
+			if got[key] != est {
+				t.Errorf("query %s: candidate %s est %v, want %v", k, key, got[key], est)
+			}
+		}
+	}
+	// Re-adding a removed key behaves like a fresh insert.
+	inc.Remove("b")
+	inc.Add("b", set("b", 21))
+	found := false
+	for _, c := range inc.Query(set("b", 21)) {
+		if c.Key == "b" && c.Estimated == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("re-added key not found with estimate 1")
+	}
+}

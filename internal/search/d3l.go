@@ -1,6 +1,7 @@
 package search
 
 import (
+	"fmt"
 	"math"
 	"strconv"
 	"strings"
@@ -34,6 +35,10 @@ type D3L struct {
 	lsh     *minhash.Index
 }
 
+// d3lBands is the LSH banding width of the value-overlap index; it must
+// divide the hasher's signature length (128).
+const d3lBands = 32
+
 // d3lTableIndex holds the per-table signals computed during indexing.
 type d3lTableIndex struct {
 	sigs []minhash.Signature
@@ -58,40 +63,76 @@ func NewD3L(l *lake.Lake, opts ...Option) *D3L {
 		formats: map[string][]formatProfile{},
 		numeric: map[string][]numericProfile{},
 	}
-	d.lsh, _ = minhash.NewIndex(d.hasher, 32)
+	d.lsh, _ = minhash.NewIndex(d.hasher, d3lBands)
 	tables := l.Tables()
 	indexed := par.Map(d.workers, len(tables), func(ti int) d3lTableIndex {
-		t := tables[ti]
-		n := t.NumCols()
-		idx := d3lTableIndex{
-			sigs: make([]minhash.Signature, n),
-			vecs: make([]vector.Vec, n),
-			fps:  make([]formatProfile, n),
-			nps:  make([]numericProfile, n),
-		}
-		for i := range t.Columns {
-			col := &t.Columns[i]
-			idx.sigs[i] = d.hasher.Sign(col.Values)
-			idx.vecs[i] = d.embedColumn(col)
-			idx.fps[i] = profileFormat(col.Values)
-			idx.nps[i] = profileNumeric(col.Values)
-		}
-		return idx
+		return d.indexTable(tables[ti])
 	})
 	for ti, t := range tables {
-		for i := range t.Columns {
-			d.lsh.AddSignature(t.Name, indexed[ti].sigs[i])
-		}
-		d.sigs[t.Name] = indexed[ti].sigs
-		d.vecs[t.Name] = indexed[ti].vecs
-		d.formats[t.Name] = indexed[ti].fps
-		d.numeric[t.Name] = indexed[ti].nps
+		d.install(t.Name, indexed[ti])
 	}
 	return d
 }
 
+// indexTable computes the five per-column signals for one table.
+func (d *D3L) indexTable(t *table.Table) d3lTableIndex {
+	n := t.NumCols()
+	idx := d3lTableIndex{
+		sigs: make([]minhash.Signature, n),
+		vecs: make([]vector.Vec, n),
+		fps:  make([]formatProfile, n),
+		nps:  make([]numericProfile, n),
+	}
+	for i := range t.Columns {
+		col := &t.Columns[i]
+		idx.sigs[i] = d.hasher.Sign(col.Values)
+		idx.vecs[i] = d.embedColumn(col)
+		idx.fps[i] = profileFormat(col.Values)
+		idx.nps[i] = profileNumeric(col.Values)
+	}
+	return idx
+}
+
+// install stores one table's signals and inserts its signatures into the
+// LSH banding index.
+func (d *D3L) install(name string, idx d3lTableIndex) {
+	for i := range idx.sigs {
+		d.lsh.AddSignature(name, idx.sigs[i])
+	}
+	d.sigs[name] = idx.sigs
+	d.vecs[name] = idx.vecs
+	d.formats[name] = idx.fps
+	d.numeric[name] = idx.nps
+}
+
 // Name implements Searcher.
 func (d *D3L) Name() string { return "d3l" }
+
+// AddTable implements Incremental: only the new table's signals are
+// computed; everything already indexed is untouched, so the update costs
+// O(new table). The table must (also) be added to the lake before querying.
+func (d *D3L) AddTable(t *table.Table) error {
+	if _, ok := d.sigs[t.Name]; ok {
+		return fmt.Errorf("d3l: AddTable(%q): %w", t.Name, ErrDuplicateTable)
+	}
+	d.install(t.Name, d.indexTable(t))
+	return nil
+}
+
+// RemoveTable implements Incremental: the table's signals are dropped and
+// its LSH entries tombstoned (the banding index compacts itself once dead
+// entries dominate). Remove the table from the lake afterwards.
+func (d *D3L) RemoveTable(name string) error {
+	if _, ok := d.sigs[name]; !ok {
+		return fmt.Errorf("d3l: RemoveTable(%q): %w", name, ErrUnknownTable)
+	}
+	delete(d.sigs, name)
+	delete(d.vecs, name)
+	delete(d.formats, name)
+	delete(d.numeric, name)
+	d.lsh.Remove(name)
+	return nil
+}
 
 // QueryWorkers implements QueryBounded: the returned searcher shares this
 // searcher's index (immutable after construction) and scores queries with

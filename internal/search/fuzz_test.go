@@ -1,0 +1,38 @@
+package search
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadIndex throws arbitrary bytes at all three index loaders: every
+// input must return cleanly — a loaded index or a typed error — and never
+// panic or over-allocate. Seeds are the golden index files (valid inputs
+// whose mutations explore deep decoder paths) plus envelope fragments.
+func FuzzLoadIndex(f *testing.F) {
+	for _, name := range []string{"starmie", "d3l", "tuples"} {
+		if data, err := os.ReadFile(filepath.Join("testdata", "golden_"+name+".idx")); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("DSTIDX"))
+	f.Add([]byte("DSTIDXS\x01\x00\xff\xff\xff\xff\xff\xff\xff\xff"))
+
+	b := persistBench(f)
+	tables := b.Lake.Tables()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A successful load must yield a usable index; errors just return.
+		if s, err := LoadStarmie(bytes.NewReader(data), b.Lake); err == nil {
+			s.TopK(b.Queries[0], 3)
+		}
+		if d, err := LoadD3L(bytes.NewReader(data), b.Lake); err == nil {
+			d.TopK(b.Queries[0], 3)
+		}
+		if ts, err := LoadTupleSearch(bytes.NewReader(data), tables); err == nil {
+			ts.TopK(b.Queries[0], 3)
+		}
+	})
+}

@@ -8,6 +8,7 @@
 package search
 
 import (
+	"errors"
 	"sort"
 
 	"dust/internal/datagen"
@@ -26,6 +27,36 @@ type Scored struct {
 type Searcher interface {
 	Name() string
 	TopK(query *table.Table, k int) []Scored
+}
+
+// Typed failures of the incremental-mutation and persistence surfaces.
+var (
+	// ErrDuplicateTable reports AddTable of a name the index already holds.
+	ErrDuplicateTable = errors.New("search: table already indexed")
+	// ErrUnknownTable reports RemoveTable of a name the index never saw.
+	ErrUnknownTable = errors.New("search: table not indexed")
+	// ErrLakeMismatch reports a saved index whose table set does not match
+	// the lake it is being loaded against.
+	ErrLakeMismatch = errors.New("search: saved index does not match the lake")
+	// ErrEncoderMismatch reports a saved index built with a different
+	// encoder configuration than the loading searcher.
+	ErrEncoderMismatch = errors.New("search: saved index built with a different encoder")
+)
+
+// Incremental is an index that supports delta updates: AddTable indexes one
+// new table and RemoveTable un-indexes one, in O(delta) work rather than a
+// full rebuild, while keeping query results bit-identical to an index built
+// from scratch over the mutated table set. All three searchers in this
+// package implement it.
+//
+// Contract for the lake-backed searchers (Starmie, D3L): the searcher and
+// its lake must agree whenever a query runs. Call lake.Add before (or right
+// after) AddTable; call RemoveTable while the table is still in the lake,
+// then lake.Remove. dust.Pipeline.AddTable/RemoveTable sequence both sides
+// correctly. Mutations are not safe concurrently with queries.
+type Incremental interface {
+	AddTable(t *table.Table) error
+	RemoveTable(name string) error
 }
 
 // QueryBounded is a Searcher whose query-time scoring parallelism can be

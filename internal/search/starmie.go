@@ -1,6 +1,8 @@
 package search
 
 import (
+	"fmt"
+
 	"dust/internal/embed"
 	"dust/internal/lake"
 	"dust/internal/match"
@@ -16,10 +18,15 @@ import (
 // by maximum-weight bipartite matching over cosine similarity and the
 // normalized matching weight is the table's unionability score (§6.2.3).
 type Starmie struct {
-	enc     embed.StarmieEncoder
-	lake    *lake.Lake
-	corpus  *tokenize.Corpus
-	cols    map[string][]vector.Vec // table name -> column embeddings
+	enc    embed.StarmieEncoder
+	lake   *lake.Lake
+	corpus *tokenize.Corpus
+	cols   map[string][]vector.Vec // table name -> column embeddings
+	// big marks tables with at least one column whose token count exceeds
+	// the encoder budget: their embeddings depend on the corpus TF-IDF
+	// selection and must be refreshed whenever the corpus changes (see
+	// AddTable/RemoveTable). Every other table embeds corpus-independently.
+	big     map[string]bool
 	workers int
 	// MinSim drops column matches below this similarity (Starmie's
 	// verification threshold).
@@ -42,13 +49,18 @@ func NewStarmieWithEncoder(l *lake.Lake, enc embed.StarmieEncoder, opts ...Optio
 		lake:    l,
 		corpus:  &tokenize.Corpus{},
 		cols:    make(map[string][]vector.Vec, l.Len()),
+		big:     make(map[string]bool),
 		workers: o.workers,
 		MinSim:  0.3,
 	}
 	tables := l.Tables()
 	for _, t := range tables {
 		for i := range t.Columns {
-			s.corpus.AddDocument(embed.ColumnTokens(&t.Columns[i]))
+			tokens := embed.ColumnTokens(&t.Columns[i])
+			s.corpus.AddDocument(tokens)
+			if len(tokens) > embed.TokenBudget {
+				s.big[t.Name] = true
+			}
 		}
 	}
 	embedded := par.Map(s.workers, len(tables), func(i int) []vector.Vec {
@@ -62,6 +74,69 @@ func NewStarmieWithEncoder(l *lake.Lake, enc embed.StarmieEncoder, opts ...Optio
 
 // Name implements Searcher.
 func (s *Starmie) Name() string { return "starmie" }
+
+// AddTable implements Incremental: the new table's columns join the corpus
+// and are embedded with it; tables whose TF-IDF token selection depends on
+// the corpus (those with over-budget columns) are re-embedded so every
+// stored embedding matches what a from-scratch index over the new table set
+// would hold. The table must (also) be added to the lake before querying.
+func (s *Starmie) AddTable(t *table.Table) error {
+	if _, ok := s.cols[t.Name]; ok {
+		return fmt.Errorf("starmie: AddTable(%q): %w", t.Name, ErrDuplicateTable)
+	}
+	for i := range t.Columns {
+		tokens := embed.ColumnTokens(&t.Columns[i])
+		s.corpus.AddDocument(tokens)
+		if len(tokens) > embed.TokenBudget {
+			s.big[t.Name] = true
+		}
+	}
+	s.cols[t.Name] = s.enc.EncodeTableColumns(t, s.corpus)
+	s.refreshBig(t.Name)
+	return nil
+}
+
+// RemoveTable implements Incremental. It must run while the table is still
+// in the lake (its columns have to leave the corpus); remove it from the
+// lake afterwards.
+func (s *Starmie) RemoveTable(name string) error {
+	if _, ok := s.cols[name]; !ok {
+		return fmt.Errorf("starmie: RemoveTable(%q): %w", name, ErrUnknownTable)
+	}
+	t := s.lake.Get(name)
+	if t == nil {
+		return fmt.Errorf("starmie: RemoveTable(%q): table already left the lake: %w", name, ErrUnknownTable)
+	}
+	for i := range t.Columns {
+		s.corpus.RemoveDocument(embed.ColumnTokens(&t.Columns[i]))
+	}
+	delete(s.cols, name)
+	delete(s.big, name)
+	s.refreshBig("")
+	return nil
+}
+
+// refreshBig re-embeds every indexed table marked corpus-sensitive, in
+// parallel, skipping the one just encoded with the current corpus. Tables
+// under the token budget never enter s.big, so the common mutation costs
+// O(new table) only.
+func (s *Starmie) refreshBig(skip string) {
+	var stale []*table.Table
+	for _, t := range s.lake.Tables() {
+		if s.big[t.Name] && t.Name != skip && s.cols[t.Name] != nil {
+			stale = append(stale, t)
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	embedded := par.Map(s.workers, len(stale), func(i int) []vector.Vec {
+		return s.enc.EncodeTableColumns(stale[i], s.corpus)
+	})
+	for i, t := range stale {
+		s.cols[t.Name] = embedded[i]
+	}
+}
 
 // QueryWorkers implements QueryBounded: the returned searcher shares this
 // searcher's index (immutable after construction) and scores queries with

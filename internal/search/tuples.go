@@ -1,6 +1,7 @@
 package search
 
 import (
+	"fmt"
 	"sort"
 
 	"dust/internal/embed"
@@ -59,6 +60,48 @@ func (ts *TupleSearch) Name() string { return "starmie-tuples" }
 
 // Len returns the number of indexed tuples.
 func (ts *TupleSearch) Len() int { return len(ts.tuples) }
+
+// AddTable implements Incremental: the table's tuples are embedded and
+// appended, exactly where a from-scratch index over the mutated table list
+// would place them. A table with no rows contributes no tuples (and is
+// therefore unknown to RemoveTable).
+func (ts *TupleSearch) AddTable(t *table.Table) error {
+	for i := range ts.tuples {
+		if ts.tuples[i].Table.Name == t.Name {
+			return fmt.Errorf("tuplesearch: AddTable(%q): %w", t.Name, ErrDuplicateTable)
+		}
+	}
+	headers := t.Headers()
+	rows := make([][]string, t.NumRows())
+	for r := range rows {
+		rows[r] = t.Row(r)
+		ts.tuples = append(ts.tuples, ScoredTuple{Table: t, Row: r})
+	}
+	ts.vecs = append(ts.vecs, ts.enc.EncodeTupleBatch(headers, rows, ts.workers)...)
+	return nil
+}
+
+// RemoveTable implements Incremental: the table's tuples leave the index;
+// the relative order of the survivors — which the stable TopK sort depends
+// on — is preserved.
+func (ts *TupleSearch) RemoveTable(name string) error {
+	keptT := ts.tuples[:0]
+	keptV := ts.vecs[:0]
+	found := false
+	for i := range ts.tuples {
+		if ts.tuples[i].Table.Name == name {
+			found = true
+			continue
+		}
+		keptT = append(keptT, ts.tuples[i])
+		keptV = append(keptV, ts.vecs[i])
+	}
+	if !found {
+		return fmt.Errorf("tuplesearch: RemoveTable(%q): %w", name, ErrUnknownTable)
+	}
+	ts.tuples, ts.vecs = keptT, keptV
+	return nil
+}
 
 // TopK returns the k tuples most similar to the query table's tuples.
 // Query embedding and per-tuple scoring both run in parallel; scores are

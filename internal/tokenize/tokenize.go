@@ -68,8 +68,57 @@ func (c *Corpus) AddDocument(tokens []string) {
 	c.numDocs++
 }
 
+// RemoveDocument reverses a prior AddDocument of the same token multiset:
+// document frequencies of the distinct tokens are decremented (entries
+// reaching zero are deleted, so the corpus state is identical to one built
+// without the document) and the document count drops by one. Removing a
+// document that was never added corrupts the statistics; callers own that
+// invariant.
+func (c *Corpus) RemoveDocument(tokens []string) {
+	if c.numDocs == 0 {
+		return
+	}
+	seen := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if df := c.docFreq[t]; df > 1 {
+			c.docFreq[t] = df - 1
+		} else {
+			delete(c.docFreq, t)
+		}
+	}
+	c.numDocs--
+}
+
 // NumDocs returns the number of documents added.
 func (c *Corpus) NumDocs() int { return c.numDocs }
+
+// DocFreqs calls fn for every (token, document frequency) pair in
+// unspecified order; index codecs sort the tokens themselves.
+func (c *Corpus) DocFreqs(fn func(token string, df int)) {
+	for t, df := range c.docFreq {
+		fn(t, df)
+	}
+}
+
+// Restore replaces the corpus state wholesale; it is the loading-side dual
+// of DocFreqs, used by index codecs. A negative numDocs or frequency is
+// silently clamped to zero.
+func (c *Corpus) Restore(numDocs int, docFreq map[string]int) {
+	if numDocs < 0 {
+		numDocs = 0
+	}
+	c.numDocs = numDocs
+	c.docFreq = make(map[string]int, len(docFreq))
+	for t, df := range docFreq {
+		if df > 0 {
+			c.docFreq[t] = df
+		}
+	}
+}
 
 // IDF returns the smoothed inverse document frequency of token, defined as
 // ln((1+N)/(1+df)) + 1 (the scikit-learn smoothing used by the baselines the

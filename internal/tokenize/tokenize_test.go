@@ -136,3 +136,61 @@ func TestTermFreqTotalProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRemoveDocumentRestoresState(t *testing.T) {
+	docs := [][]string{
+		{"park", "city", "park"},
+		{"city", "country", "year"},
+		{"park", "year"},
+	}
+	// Build the full corpus, then remove the middle document and compare
+	// against a corpus that never saw it.
+	var full Corpus
+	for _, d := range docs {
+		full.AddDocument(d)
+	}
+	full.RemoveDocument(docs[1])
+
+	var fresh Corpus
+	fresh.AddDocument(docs[0])
+	fresh.AddDocument(docs[2])
+
+	if full.NumDocs() != fresh.NumDocs() {
+		t.Fatalf("NumDocs = %d, want %d", full.NumDocs(), fresh.NumDocs())
+	}
+	for _, tok := range []string{"park", "city", "country", "year", "never-seen"} {
+		if got, want := full.IDF(tok), fresh.IDF(tok); got != want {
+			t.Errorf("IDF(%q) = %v, want %v", tok, got, want)
+		}
+	}
+	// Zero-count entries must be deleted, not kept at zero.
+	count := 0
+	full.DocFreqs(func(string, int) { count++ })
+	if count != 3 { // park, city, year
+		t.Errorf("docFreq entries = %d, want 3", count)
+	}
+}
+
+func TestRemoveDocumentOnEmptyCorpus(t *testing.T) {
+	var c Corpus
+	c.RemoveDocument([]string{"a"}) // must not underflow or panic
+	if c.NumDocs() != 0 {
+		t.Errorf("NumDocs = %d", c.NumDocs())
+	}
+}
+
+func TestCorpusRestore(t *testing.T) {
+	var c Corpus
+	c.Restore(2, map[string]int{"a": 2, "b": 1, "dead": 0})
+	if c.NumDocs() != 2 {
+		t.Errorf("NumDocs = %d", c.NumDocs())
+	}
+	var fresh Corpus
+	fresh.AddDocument([]string{"a", "b"})
+	fresh.AddDocument([]string{"a"})
+	for _, tok := range []string{"a", "b", "dead"} {
+		if got, want := c.IDF(tok), fresh.IDF(tok); got != want {
+			t.Errorf("IDF(%q) = %v, want %v", tok, got, want)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package dust
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dust/internal/codec"
+	"dust/internal/lake"
+	"dust/internal/model"
+	"dust/internal/search"
+	"dust/internal/table"
+)
+
+// ManifestFormatVersion is the index-directory manifest payload version.
+const ManifestFormatVersion uint16 = 1
+
+// Index-directory layout. The manifest is written last so a directory with
+// a partial save (crash mid-write) is treated as having no index at all.
+const (
+	manifestFile = "manifest.dustidx"
+	searcherFile = "searcher.dustidx"
+	modelFile    = "tuple.model"
+)
+
+// Typed failures of the pipeline persistence and mutation surfaces.
+var (
+	// ErrNoIndex reports a LoadPipeline directory without a manifest.
+	ErrNoIndex = errors.New("dust: no saved index in directory")
+	// ErrUnsupportedSearcher reports SaveIndex on a pipeline whose
+	// searcher has no persistent form (only the built-in Starmie and D3L
+	// searchers do).
+	ErrUnsupportedSearcher = errors.New("dust: searcher does not support persistence")
+	// ErrNotIncremental reports AddTable/RemoveTable on a pipeline whose
+	// searcher does not implement search.Incremental.
+	ErrNotIncremental = errors.New("dust: searcher does not support incremental updates")
+)
+
+// Lake returns the data lake this pipeline searches.
+func (p *Pipeline) Lake() *lake.Lake { return p.lake }
+
+// AddTable adds a table to the lake and, via the searcher's delta update,
+// to the search index — no rebuild. Query results afterwards are
+// bit-identical to a pipeline constructed from scratch over the grown lake.
+func (p *Pipeline) AddTable(t *table.Table) error {
+	inc, ok := p.searcher.(search.Incremental)
+	if !ok {
+		return fmt.Errorf("dust: AddTable: %T: %w", p.searcher, ErrNotIncremental)
+	}
+	if err := p.lake.Add(t); err != nil {
+		return err
+	}
+	if err := inc.AddTable(t); err != nil {
+		// Keep lake and index in sync: a table the index refused must not
+		// linger in the lake (the lake Add above was this call's own).
+		_ = p.lake.Remove(t.Name)
+		return err
+	}
+	return nil
+}
+
+// RemoveTable removes a table from the search index and the lake, costing
+// O(delta) instead of a rebuild.
+func (p *Pipeline) RemoveTable(name string) error {
+	inc, ok := p.searcher.(search.Incremental)
+	if !ok {
+		return fmt.Errorf("dust: RemoveTable: %T: %w", p.searcher, ErrNotIncremental)
+	}
+	// Searchers un-index while the table is still in the lake (Starmie has
+	// to retire its columns from the corpus).
+	if err := inc.RemoveTable(name); err != nil {
+		return err
+	}
+	return p.lake.Remove(name)
+}
+
+// searcherKind names the persistent form of the pipeline's searcher.
+func (p *Pipeline) searcherKind() (string, error) {
+	switch p.searcher.(type) {
+	case *search.Starmie:
+		return "starmie", nil
+	case *search.D3L:
+		return "d3l", nil
+	default:
+		return "", fmt.Errorf("dust: %T: %w", p.searcher, ErrUnsupportedSearcher)
+	}
+}
+
+// SaveIndex persists the pipeline's index state under dir so a later
+// LoadPipeline can skip the cold rebuild: the searcher index (versioned,
+// checksummed), the fine-tuned tuple model when one is installed, and a
+// manifest recording the searcher kind and the lake's table set.
+func (p *Pipeline) SaveIndex(dir string) error {
+	kind, err := p.searcherKind()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Retire any existing manifest before touching component files: the
+	// manifest is the marker of a complete save, so a crash mid-overwrite
+	// must leave a directory that reads as "no index", never as the old
+	// manifest over new component files.
+	if err := os.Remove(filepath.Join(dir, manifestFile)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("dust: save index: %w", err)
+	}
+	if err := writeFile(filepath.Join(dir, searcherFile), func(f io.Writer) error {
+		switch s := p.searcher.(type) {
+		case *search.Starmie:
+			return s.Save(f)
+		case *search.D3L:
+			return s.Save(f)
+		}
+		panic("unreachable: searcherKind accepted " + kind)
+	}); err != nil {
+		return fmt.Errorf("dust: save index: %w", err)
+	}
+	m, hasModel := p.tupleEnc.(*model.Model)
+	if hasModel {
+		if err := writeFile(filepath.Join(dir, modelFile), m.Save); err != nil {
+			return fmt.Errorf("dust: save model: %w", err)
+		}
+	} else if err := os.Remove(filepath.Join(dir, modelFile)); err != nil && !os.IsNotExist(err) {
+		// A model file from an earlier save of a model-bearing pipeline
+		// would be orphaned; drop it so the directory mirrors this save.
+		return fmt.Errorf("dust: save index: %w", err)
+	}
+
+	var b codec.Buffer
+	b.String(kind)
+	b.String(p.lake.Name)
+	names := p.lake.Names()
+	b.Int(len(names))
+	for _, n := range names {
+		b.String(n)
+	}
+	b.Bool(hasModel)
+	if err := writeFile(filepath.Join(dir, manifestFile), func(f io.Writer) error {
+		return codec.WriteEnvelope(f, codec.KindManifest, ManifestFormatVersion, b.Bytes())
+	}); err != nil {
+		return fmt.Errorf("dust: save manifest: %w", err)
+	}
+	return nil
+}
+
+// HasIndex reports whether dir holds a complete saved index (a manifest is
+// only written after every component file).
+func HasIndex(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestFile))
+	return err == nil
+}
+
+// LoadPipeline reconstructs a pipeline from lake CSVs plus an index
+// directory written by SaveIndex, skipping the cold index build. The lake
+// must hold exactly the table set recorded in the manifest (the loaders
+// also self-validate); options apply on top of the restored searcher and
+// model, so e.g. WithWorkers re-bounds query parallelism as usual.
+func LoadPipeline(lakeDir, indexDir string, opts ...Option) (*Pipeline, error) {
+	l, err := lake.Load(lakeDir)
+	if err != nil {
+		return nil, fmt.Errorf("dust: load lake: %w", err)
+	}
+	return LoadPipelineLake(l, indexDir, opts...)
+}
+
+// LoadPipelineLake is LoadPipeline for a lake already in memory.
+func LoadPipelineLake(l *lake.Lake, indexDir string, opts ...Option) (*Pipeline, error) {
+	mf, err := os.Open(filepath.Join(indexDir, manifestFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("dust: %s: %w", indexDir, ErrNoIndex)
+		}
+		return nil, err
+	}
+	_, payload, err := codec.ReadEnvelope(mf, codec.KindManifest, ManifestFormatVersion)
+	mf.Close()
+	if err != nil {
+		return nil, fmt.Errorf("dust: load manifest: %w", err)
+	}
+	sc := codec.NewScanner(payload)
+	kind := sc.String()
+	_ = sc.String() // saved lake name; informational only
+	n := sc.Int()
+	names := make([]string, 0, n)
+	for i := 0; i < n && sc.Err() == nil; i++ {
+		names = append(names, sc.String())
+	}
+	hasModel := sc.Bool()
+	if err := sc.Finish(); err != nil {
+		return nil, fmt.Errorf("dust: load manifest: %w", err)
+	}
+	if len(names) != l.Len() {
+		return nil, fmt.Errorf("dust: index holds %d tables, lake holds %d: %w",
+			len(names), l.Len(), search.ErrLakeMismatch)
+	}
+	for _, name := range names {
+		if l.Get(name) == nil {
+			return nil, fmt.Errorf("dust: indexed table %q not in lake: %w", name, search.ErrLakeMismatch)
+		}
+	}
+
+	sf, err := os.Open(filepath.Join(indexDir, searcherFile))
+	if err != nil {
+		return nil, fmt.Errorf("dust: load index: %w", err)
+	}
+	var searcher search.Searcher
+	switch kind {
+	case "starmie":
+		searcher, err = search.LoadStarmie(sf, l)
+	case "d3l":
+		searcher, err = search.LoadD3L(sf, l)
+	default:
+		err = fmt.Errorf("dust: manifest names unknown searcher kind %q: %w", kind, codec.ErrCorrupt)
+	}
+	sf.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	loaded := []Option{WithSearcher(searcher)}
+	if hasModel {
+		f, err := os.Open(filepath.Join(indexDir, modelFile))
+		if err != nil {
+			return nil, fmt.Errorf("dust: load model: %w", err)
+		}
+		m, err := model.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("dust: load model: %w", err)
+		}
+		loaded = append(loaded, WithTupleEncoder(m))
+	}
+	return New(l, append(loaded, opts...)...), nil
+}
+
+// writeFile creates path, streams content through write, and closes it,
+// reporting the first error.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
