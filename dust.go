@@ -18,6 +18,7 @@
 package dust
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -44,6 +45,10 @@ type Pipeline struct {
 	topTables   int
 	workers     int
 	workersSet  bool
+	// epoch counts index mutations (AddTable/RemoveTable) over the
+	// pipeline's lifetime; see Epoch in persist.go. Serving layers key
+	// result caches by it.
+	epoch uint64
 }
 
 // Option customizes a Pipeline.
@@ -126,6 +131,16 @@ type Result struct {
 // Search runs Algorithm 1: discover unionable tables, align and
 // outer-union them, embed all tuples, and return k diverse ones.
 func (p *Pipeline) Search(query *table.Table, k int) (*Result, error) {
+	return p.SearchContext(context.Background(), query, k)
+}
+
+// SearchContext is Search with a cancellation path: once ctx is cancelled
+// or its deadline passes, the pipeline abandons the remaining work — the
+// candidate scan, tuple embedding, and the stage boundaries all check ctx —
+// and returns an error wrapping ctx.Err() instead of running the query to
+// completion. Long-running servers use it to bound per-request latency and
+// to stop doing work for clients that have gone away.
+func (p *Pipeline) SearchContext(ctx context.Context, query *table.Table, k int) (*Result, error) {
 	if query == nil || query.NumCols() == 0 {
 		return nil, fmt.Errorf("dust: empty query table")
 	}
@@ -134,7 +149,10 @@ func (p *Pipeline) Search(query *table.Table, k int) (*Result, error) {
 	}
 
 	// Line 3: D' <- SearchTables(Q, D).
-	hits := p.searcher.TopK(query, p.topTables)
+	hits, err := search.TopKCtx(ctx, p.searcher, query, p.topTables)
+	if err != nil {
+		return nil, fmt.Errorf("dust: search: %w", err)
+	}
 	tables := make([]*table.Table, 0, len(hits))
 	names := make([]string, 0, len(hits))
 	for _, h := range hits {
@@ -146,6 +164,9 @@ func (p *Pipeline) Search(query *table.Table, k int) (*Result, error) {
 	}
 
 	// Line 5: T <- AlignColumns(Q, D').
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dust: align: %w", err)
+	}
 	cols := align.EmbedColumns(query, tables, p.columnEnc)
 	res := align.HolisticWorkers(cols, p.workers)
 	headers, mappings, err := res.Mappings(query, tables)
@@ -171,8 +192,14 @@ func (p *Pipeline) Search(query *table.Table, k int) (*Result, error) {
 	}
 
 	// Line 7: embed query and data lake tuples, in parallel batches.
-	eq := model.EncodeBatch(p.tupleEnc, headers, tableRows(query), p.workers)
-	et := model.EncodeBatch(p.tupleEnc, headers, tableRows(unioned), p.workers)
+	eq, err := model.EncodeBatchContext(ctx, p.tupleEnc, headers, tableRows(query), p.workers)
+	if err != nil {
+		return nil, fmt.Errorf("dust: embed: %w", err)
+	}
+	et, err := model.EncodeBatchContext(ctx, p.tupleEnc, headers, tableRows(unioned), p.workers)
+	if err != nil {
+		return nil, fmt.Errorf("dust: embed: %w", err)
+	}
 	groups := make([]int, unioned.NumRows())
 	groupIDs := map[string]int{}
 	for i := range groups {
@@ -185,6 +212,9 @@ func (p *Pipeline) Search(query *table.Table, k int) (*Result, error) {
 	}
 
 	// Line 8: F <- DiversifyTuples(EQ, ET, k).
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dust: diversify: %w", err)
+	}
 	idx := p.diversifier.Select(diversify.Problem{
 		Query: eq, Tuples: et, Groups: groups, K: k, Dist: p.dist,
 		Workers: p.workers,
@@ -219,11 +249,16 @@ func (p *Pipeline) Search(query *table.Table, k int) (*Result, error) {
 // the joined error. Each result is identical to what a lone Search call
 // would return.
 func (p *Pipeline) SearchBatch(queries []*table.Table, k int) ([]*Result, error) {
-	inner := *p
-	inner.workers = 1
-	if qb, ok := p.searcher.(search.QueryBounded); ok {
-		inner.searcher = qb.QueryWorkers(1)
-	}
+	return p.SearchBatchContext(context.Background(), queries, k)
+}
+
+// SearchBatchContext is SearchBatch with a cancellation path: once ctx is
+// cancelled, queries not yet started fail immediately and queries in flight
+// abandon their remaining stages (see SearchContext), each contributing an
+// error wrapping ctx.Err() to the joined error. Already-completed results
+// keep their slots.
+func (p *Pipeline) SearchBatchContext(ctx context.Context, queries []*table.Table, k int) ([]*Result, error) {
+	inner := p.QueryBound(1)
 	results := make([]*Result, len(queries))
 	errs := make([]error, len(queries))
 	pool := par.NewPool(p.workers)
@@ -231,7 +266,7 @@ func (p *Pipeline) SearchBatch(queries []*table.Table, k int) ([]*Result, error)
 	for i := range queries {
 		i := i
 		pool.Submit(func() {
-			res, err := inner.Search(queries[i], k)
+			res, err := inner.SearchContext(ctx, queries[i], k)
 			if err != nil {
 				name := "<nil>"
 				if queries[i] != nil {
@@ -244,6 +279,35 @@ func (p *Pipeline) SearchBatch(queries []*table.Table, k int) ([]*Result, error)
 	}
 	pool.Wait()
 	return results, errors.Join(errs...)
+}
+
+// ConfigTag returns a stable tag of the pipeline's query-shaping
+// configuration: searcher, column encoder, tuple encoder, and diversifier
+// names plus the top-tables bound. Two pipelines with equal tags, equal
+// epochs, and the same lake rank any query identically, which is what lets
+// a serving cache key results by (query fingerprint, k, tag, epoch).
+func (p *Pipeline) ConfigTag() string {
+	return fmt.Sprintf("%s|%s|%s|%s|%d",
+		p.searcher.Name(), p.columnEnc.Name(), p.tupleEnc.Name(), p.diversifier.Name(), p.topTables)
+}
+
+// QueryBound returns a pipeline view sharing this pipeline's lake, index,
+// and encoders whose per-query parallelism — alignment, embedding,
+// diversification, and (for QueryBounded searchers, which the defaults are)
+// candidate scoring — is bounded to n workers. Concurrent servers use it so
+// per-query fan-out does not multiply their request-level concurrency;
+// SearchBatch builds its inner per-query pipeline with it. The returned
+// pipeline is for querying only: it shares mutable index state with the
+// receiver, so do not call AddTable/RemoveTable on it (Clone exists for
+// that).
+func (p *Pipeline) QueryBound(n int) *Pipeline {
+	c := *p
+	c.workers = n
+	c.workersSet = true
+	if qb, ok := p.searcher.(search.QueryBounded); ok {
+		c.searcher = qb.QueryWorkers(n)
+	}
+	return &c
 }
 
 // tableRows collects a table's rows for batch encoding.

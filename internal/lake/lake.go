@@ -4,6 +4,7 @@
 package lake
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +12,15 @@ import (
 	"strings"
 
 	"dust/internal/table"
+)
+
+// Typed failures of the lake mutation surface, for callers (HTTP layers)
+// that map them to distinct statuses.
+var (
+	// ErrDuplicateTable reports Add (or Rename onto) a name the lake holds.
+	ErrDuplicateTable = errors.New("lake: duplicate table")
+	// ErrUnknownTable reports Remove/Rename of a name the lake never held.
+	ErrUnknownTable = errors.New("lake: no such table")
 )
 
 // Lake is an in-memory data lake: a set of tables addressable by name.
@@ -29,7 +39,7 @@ func New(name string) *Lake {
 // error because the name is the table's identity within the lake.
 func (l *Lake) Add(t *table.Table) error {
 	if _, ok := l.tables[t.Name]; ok {
-		return fmt.Errorf("lake %s: duplicate table %q", l.Name, t.Name)
+		return fmt.Errorf("lake %s: %w: %q", l.Name, ErrDuplicateTable, t.Name)
 	}
 	l.tables[t.Name] = t
 	l.order = append(l.order, t.Name)
@@ -48,7 +58,7 @@ func (l *Lake) MustAdd(t *table.Table) {
 // stays deterministic across arbitrary Add/Remove interleavings.
 func (l *Lake) Remove(name string) error {
 	if _, ok := l.tables[name]; !ok {
-		return fmt.Errorf("lake %s: no table %q", l.Name, name)
+		return fmt.Errorf("lake %s: %w: %q", l.Name, ErrUnknownTable, name)
 	}
 	delete(l.tables, name)
 	for i, n := range l.order {
@@ -70,13 +80,13 @@ func (l *Lake) Remove(name string) error {
 func (l *Lake) Rename(old, new string) error {
 	t, ok := l.tables[old]
 	if !ok {
-		return fmt.Errorf("lake %s: no table %q", l.Name, old)
+		return fmt.Errorf("lake %s: %w: %q", l.Name, ErrUnknownTable, old)
 	}
 	if old == new {
 		return nil
 	}
 	if _, ok := l.tables[new]; ok {
-		return fmt.Errorf("lake %s: duplicate table %q", l.Name, new)
+		return fmt.Errorf("lake %s: %w: %q", l.Name, ErrDuplicateTable, new)
 	}
 	delete(l.tables, old)
 	t.Name = new
@@ -88,6 +98,23 @@ func (l *Lake) Rename(old, new string) error {
 		}
 	}
 	return nil
+}
+
+// Clone returns a lake owning its own name map and iteration order but
+// sharing the table objects (which nothing in the repo mutates after
+// insertion): Add/Remove/Rename on the clone never observe or disturb the
+// original, so a serving layer can mutate a copy-on-write shadow while
+// queries keep reading the original lake lock-free.
+func (l *Lake) Clone() *Lake {
+	c := &Lake{
+		Name:   l.Name,
+		tables: make(map[string]*table.Table, len(l.tables)),
+		order:  append([]string(nil), l.order...),
+	}
+	for n, t := range l.tables {
+		c.tables[n] = t
+	}
+	return c
 }
 
 // Get returns the named table, or nil.

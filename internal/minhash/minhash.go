@@ -210,6 +210,40 @@ func (idx *Index) compact() {
 	idx.dead = 0
 }
 
+// Clone returns an independently mutable copy of the index: bucket lists,
+// key tables, and tombstone state are deep-copied (with exact-length
+// backing arrays, so appends on either side reallocate instead of writing
+// into shared memory), while the immutable signatures and the hasher are
+// shared. AddSignature/Remove/compaction on the clone never disturb the
+// original, which may still be serving Query calls concurrently.
+func (idx *Index) Clone() *Index {
+	c := &Index{
+		hasher:  idx.hasher,
+		bands:   idx.bands,
+		rows:    idx.rows,
+		buckets: make([]map[string][]int, len(idx.buckets)),
+		keys:    make([]string, len(idx.keys)),
+		sigs:    make([]Signature, len(idx.sigs)),
+		byKey:   make(map[string][]int, len(idx.byKey)),
+		removed: make([]bool, len(idx.removed)),
+		dead:    idx.dead,
+	}
+	copy(c.keys, idx.keys)
+	copy(c.sigs, idx.sigs)
+	copy(c.removed, idx.removed)
+	for b, m := range idx.buckets {
+		nm := make(map[string][]int, len(m))
+		for k, ids := range m {
+			nm[k] = append(make([]int, 0, len(ids)), ids...)
+		}
+		c.buckets[b] = nm
+	}
+	for k, ids := range idx.byKey {
+		c.byKey[k] = append(make([]int, 0, len(ids)), ids...)
+	}
+	return c
+}
+
 // Candidate is a query result: an indexed key with its estimated Jaccard.
 type Candidate struct {
 	Key       string

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -155,16 +156,40 @@ type BatchTupleEncoder interface {
 // surface run across workers goroutines; arbitrary TupleEncoders are not
 // guaranteed concurrency-safe, so they fall back to a sequential loop.
 // Either way the output is index-aligned with rows and identical to
-// per-row EncodeTuple calls.
+// per-row EncodeTuple calls. It is EncodeBatchContext under a background
+// context, which never errors.
 func EncodeBatch(enc TupleEncoder, headers []string, rows [][]string, workers int) []vector.Vec {
-	if b, ok := enc.(BatchTupleEncoder); ok {
-		return b.EncodeTupleBatch(headers, rows, workers)
-	}
-	out := make([]vector.Vec, len(rows))
-	for i, r := range rows {
-		out[i] = enc.EncodeTuple(headers, r)
-	}
+	out, _ := EncodeBatchContext(context.Background(), enc, headers, rows, workers)
 	return out
+}
+
+// EncodeBatchContext is EncodeBatch with a cancellation path: once ctx is
+// cancelled the remaining rows are skipped and ctx.Err() is returned, so a
+// caller serving queries under a deadline is not forced to embed an entire
+// unioned tuple pool it no longer wants. On the nil error path the output
+// is identical to EncodeBatch. Batch-capable encoders are driven through
+// per-row EncodeTuple calls across workers goroutines — the same shape
+// their own EncodeTupleBatch uses, which is what makes those calls
+// concurrency-safe in the first place.
+func EncodeBatchContext(ctx context.Context, enc TupleEncoder, headers []string, rows [][]string, workers int) ([]vector.Vec, error) {
+	out := make([]vector.Vec, len(rows))
+	if _, ok := enc.(BatchTupleEncoder); !ok {
+		// Arbitrary TupleEncoders are not guaranteed concurrency-safe:
+		// sequential loop, checking ctx between rows.
+		for i, r := range rows {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out[i] = enc.EncodeTuple(headers, r)
+		}
+		return out, nil
+	}
+	if err := par.ForCtx(ctx, workers, len(rows), func(i int) {
+		out[i] = enc.EncodeTuple(headers, rows[i])
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Save persists the model (featurizer config + network weights).

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -143,6 +144,34 @@ func (d *D3L) QueryWorkers(n int) Searcher {
 	return &c
 }
 
+// CloneWithLake implements Cloner: the clone is bound to l and owns its own
+// signal maps and LSH banding index, sharing the per-column signature,
+// vector, and profile slices (install replaces whole slices; nothing writes
+// into one). Mutations on the clone leave this searcher — and queries in
+// flight against it — untouched.
+func (d *D3L) CloneWithLake(l *lake.Lake) Searcher {
+	c := *d
+	c.lake = l
+	c.lsh = d.lsh.Clone()
+	c.sigs = make(map[string][]minhash.Signature, len(d.sigs))
+	for n, v := range d.sigs {
+		c.sigs[n] = v
+	}
+	c.vecs = make(map[string][]vector.Vec, len(d.vecs))
+	for n, v := range d.vecs {
+		c.vecs[n] = v
+	}
+	c.formats = make(map[string][]formatProfile, len(d.formats))
+	for n, v := range d.formats {
+		c.formats[n] = v
+	}
+	c.numeric = make(map[string][]numericProfile, len(d.numeric))
+	for n, v := range d.numeric {
+		c.numeric[n] = v
+	}
+	return &c
+}
+
 func (d *D3L) embedColumn(col *table.Column) vector.Vec {
 	var toks []string
 	for _, v := range col.Values {
@@ -165,6 +194,16 @@ func (d *D3L) columnScore(q *table.Column, qSig minhash.Signature, qVec vector.V
 
 // TopK implements Searcher.
 func (d *D3L) TopK(query *table.Table, k int) []Scored {
+	out, _ := d.TopKContext(context.Background(), query, k)
+	return out
+}
+
+// TopKContext implements ContextSearcher: the candidate scan stops scoring
+// further tables once ctx is cancelled and the call returns ctx.Err().
+func (d *D3L) TopKContext(ctx context.Context, query *table.Table, k int) ([]Scored, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := query.NumCols()
 	qSigs := make([]minhash.Signature, n)
 	qVecs := make([]vector.Vec, n)
@@ -177,7 +216,7 @@ func (d *D3L) TopK(query *table.Table, k int) []Scored {
 		qFmts[i] = profileFormat(col.Values)
 		qNums[i] = profileNumeric(col.Values)
 	}
-	return rankAll(d.lake, k, d.workers, func(t *table.Table) float64 {
+	return rankAllCtx(ctx, d.lake, k, d.workers, func(t *table.Table) float64 {
 		if t.NumCols() == 0 || n == 0 {
 			return 0
 		}

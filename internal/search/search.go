@@ -8,6 +8,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -69,6 +70,40 @@ type QueryBounded interface {
 	QueryWorkers(n int) Searcher
 }
 
+// ContextSearcher is a Searcher with a cancellation path: TopKContext
+// abandons the ranking once ctx is cancelled and returns ctx.Err() instead
+// of a truncated (and therefore wrong) ranking. All three searchers in this
+// package implement it; their plain TopK is TopKContext under a background
+// context.
+type ContextSearcher interface {
+	Searcher
+	TopKContext(ctx context.Context, query *table.Table, k int) ([]Scored, error)
+}
+
+// TopKCtx runs a search under ctx: ContextSearchers get real mid-query
+// cancellation, arbitrary Searchers are checked before the (uninterruptible)
+// call. The error is ctx.Err() when the query was cancelled.
+func TopKCtx(ctx context.Context, s Searcher, query *table.Table, k int) ([]Scored, error) {
+	if cs, ok := s.(ContextSearcher); ok {
+		return cs.TopKContext(ctx, query, k)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.TopK(query, k), nil
+}
+
+// Cloner is a Searcher that can produce an independently mutable copy of
+// itself bound to a (cloned) lake: Incremental mutations on the clone never
+// disturb the original, while the heavy immutable index state — embedding
+// vectors, signatures — is shared between the two. Snapshot-swapped serving
+// (internal/serve) builds its copy-on-write shadows with it, so queries in
+// flight on the original keep reading a frozen index with no locking.
+type Cloner interface {
+	Searcher
+	CloneWithLake(l *lake.Lake) Searcher
+}
+
 // Option configures a searcher's execution, shared by every searcher in
 // this package.
 type Option func(*options)
@@ -90,14 +125,20 @@ func applyOptions(opts []Option) options {
 	return o
 }
 
-// rankAll scores every lake table (in parallel across workers) and returns
-// the top k, ties broken by table name for determinism. Scores are written
-// by table index, so the ranking is identical for every worker count.
-func rankAll(l *lake.Lake, k, workers int, score func(t *table.Table) float64) []Scored {
+// rankAllCtx scores every lake table (in parallel across workers) and
+// returns the top k, ties broken by table name for determinism. Scores are
+// written by table index, so the ranking is identical for every worker
+// count. Once ctx is cancelled the remaining tables are not scored and
+// ctx.Err() is returned instead of a partial ranking; cancellation is
+// checked per table, the natural work unit of the scan.
+func rankAllCtx(ctx context.Context, l *lake.Lake, k, workers int, score func(t *table.Table) float64) ([]Scored, error) {
 	tables := l.Tables()
-	out := par.Map(workers, len(tables), func(i int) Scored {
-		return Scored{Table: tables[i], Score: score(tables[i])}
-	})
+	out := make([]Scored, len(tables))
+	if err := par.ForCtx(ctx, workers, len(tables), func(i int) {
+		out[i] = Scored{Table: tables[i], Score: score(tables[i])}
+	}); err != nil {
+		return nil, err
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
@@ -107,7 +148,7 @@ func rankAll(l *lake.Lake, k, workers int, score func(t *table.Table) float64) [
 	if k > 0 && len(out) > k {
 		out = out[:k]
 	}
-	return out
+	return out, nil
 }
 
 // MAP computes Mean Average Precision of a searcher against a benchmark's

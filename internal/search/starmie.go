@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 
 	"dust/internal/embed"
@@ -147,6 +148,27 @@ func (s *Starmie) QueryWorkers(n int) Searcher {
 	return &c
 }
 
+// CloneWithLake implements Cloner: the returned searcher is bound to l (a
+// clone of this searcher's lake holding the same table set) and owns its
+// own corpus and column-embedding maps, so AddTable/RemoveTable on it never
+// disturb this searcher. The embedding vectors themselves are shared — both
+// mutation paths replace whole slices (AddTable installs a fresh slice,
+// refreshBig assigns par.Map's fresh output), never write into one.
+func (s *Starmie) CloneWithLake(l *lake.Lake) Searcher {
+	c := *s
+	c.lake = l
+	c.corpus = s.corpus.Clone()
+	c.cols = make(map[string][]vector.Vec, len(s.cols))
+	for n, v := range s.cols {
+		c.cols[n] = v
+	}
+	c.big = make(map[string]bool, len(s.big))
+	for n, v := range s.big {
+		c.big[n] = v
+	}
+	return &c
+}
+
 // Score computes the normalized bipartite matching weight between the query
 // and one lake table.
 func (s *Starmie) Score(queryCols []vector.Vec, t *table.Table) float64 {
@@ -174,8 +196,18 @@ func (s *Starmie) EncodeQuery(q *table.Table) []vector.Vec {
 
 // TopK implements Searcher. Candidate tables are scored in parallel.
 func (s *Starmie) TopK(query *table.Table, k int) []Scored {
+	out, _ := s.TopKContext(context.Background(), query, k)
+	return out
+}
+
+// TopKContext implements ContextSearcher: the candidate scan stops scoring
+// further tables once ctx is cancelled and the call returns ctx.Err().
+func (s *Starmie) TopKContext(ctx context.Context, query *table.Table, k int) ([]Scored, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	qCols := s.EncodeQuery(query)
-	return rankAll(s.lake, k, s.workers, func(t *table.Table) float64 {
+	return rankAllCtx(ctx, s.lake, k, s.workers, func(t *table.Table) float64 {
 		return s.Score(qCols, t)
 	})
 }

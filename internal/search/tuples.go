@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -108,6 +109,17 @@ func (ts *TupleSearch) RemoveTable(name string) error {
 // written by tuple index, so the stable sort sees the same input for every
 // worker count.
 func (ts *TupleSearch) TopK(query *table.Table, k int) []ScoredTuple {
+	out, _ := ts.TopKContext(context.Background(), query, k)
+	return out
+}
+
+// TopKContext is TopK with a cancellation path (the tuple-level analogue of
+// ContextSearcher, typed for tuple hits): once ctx is cancelled the
+// remaining tuples are not scored and ctx.Err() is returned.
+func (ts *TupleSearch) TopKContext(ctx context.Context, query *table.Table, k int) ([]ScoredTuple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	headers := query.Headers()
 	rows := make([][]string, query.NumRows())
 	for r := range rows {
@@ -116,7 +128,7 @@ func (ts *TupleSearch) TopK(query *table.Table, k int) []ScoredTuple {
 	qVecs := ts.enc.EncodeTupleBatch(headers, rows, ts.workers)
 	out := make([]ScoredTuple, len(ts.tuples))
 	copy(out, ts.tuples)
-	par.For(ts.workers, len(out), func(i int) {
+	if err := par.ForCtx(ctx, ts.workers, len(out), func(i int) {
 		best := 0.0
 		for _, qv := range qVecs {
 			if sim := vector.Cosine(qv, ts.vecs[i]); sim > best {
@@ -124,10 +136,12 @@ func (ts *TupleSearch) TopK(query *table.Table, k int) []ScoredTuple {
 			}
 		}
 		out[i].Score = best
-	})
+	}); err != nil {
+		return nil, err
+	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
 	if k > 0 && len(out) > k {
 		out = out[:k]
 	}
-	return out
+	return out, nil
 }

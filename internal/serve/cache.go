@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dust/internal/table"
+)
+
+// cacheShards is the shard count of the query-result cache. Sharding keeps
+// the per-shard mutex short-lived under concurrent request load; 16 shards
+// comfortably out-scale the in-flight query bound of a single server.
+const cacheShards = 16
+
+// Cache is a sharded LRU over marshaled search responses. Entries are keyed
+// by (query fingerprint, k, pipeline config tag, index epoch) — see
+// cacheKey — so a snapshot swap invalidates every prior entry by
+// construction: the bumped epoch changes the key, stale entries simply stop
+// being reachable and age out of the LRU. A nil *Cache is valid and caches
+// nothing (Get always misses, Put is a no-op).
+type Cache struct {
+	shards   [cacheShards]cacheShard
+	perShard int
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// NewCache creates a cache holding about capacity responses in total,
+// split evenly across shards. capacity <= 0 disables caching (returns nil).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	c := &Cache{perShard: (capacity + cacheShards - 1) / cacheShards}
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[string]*list.Element)
+	}
+	return c
+}
+
+// shardFor picks the shard owning key (FNV-1a over the key bytes).
+func (c *Cache) shardFor(key string) *cacheShard {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// Get returns the cached body for key, marking it most recently used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	body := el.Value.(*cacheEntry).body
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return body, true
+}
+
+// Put stores body under key, evicting least-recently-used entries past the
+// shard's capacity.
+func (c *Cache) Put(key string, body []byte) {
+	if c == nil {
+		return
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, body: body})
+	for s.ll.Len() > c.perShard {
+		back := s.ll.Back()
+		s.ll.Remove(back)
+		delete(s.items, back.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats reports lifetime hit/miss counters and the current entry count.
+func (c *Cache) Stats() (hits, misses uint64, entries int) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		entries += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return c.hits.Load(), c.misses.Load(), entries
+}
+
+// queryFingerprint hashes a query table's full content — headers and every
+// row, length-prefixed so no two distinct tables collide by concatenation —
+// into a short stable hex string. The table name is deliberately excluded:
+// two clients posting the same content under different names share a cache
+// line.
+func queryFingerprint(t *table.Table) string {
+	h := sha256.New()
+	var lb [8]byte
+	write := func(s string) {
+		binary.LittleEndian.PutUint64(lb[:], uint64(len(s)))
+		h.Write(lb[:])
+		h.Write([]byte(s))
+	}
+	binary.LittleEndian.PutUint64(lb[:], uint64(t.NumCols()))
+	h.Write(lb[:])
+	for _, name := range t.Headers() {
+		write(name)
+	}
+	for i := 0; i < t.NumRows(); i++ {
+		for _, cell := range t.Row(i) {
+			write(cell)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// cacheKey composes the full cache key for one search: what was asked
+// (query fingerprint, k), how the pipeline answers it (config tag), and
+// which index state answers it (epoch).
+func cacheKey(fingerprint string, k int, configTag string, epoch uint64) string {
+	return fmt.Sprintf("%s|%d|%s|%d", fingerprint, k, configTag, epoch)
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"dust/internal/table"
+)
+
+func TestCacheGetPutLRU(t *testing.T) {
+	// One entry per shard: hammer keys that land in one shard to observe
+	// strict LRU order without cross-shard noise.
+	c := NewCache(cacheShards) // perShard = 1
+	shard := c.shardFor("a")
+	keys := []string{}
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shardFor(k) == shard {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(keys[0], []byte("v0"))
+	if got, ok := c.Get(keys[0]); !ok || string(got) != "v0" {
+		t.Fatalf("Get after Put = %q/%v", got, ok)
+	}
+	// Same shard, capacity 1: inserting the second evicts the first.
+	c.Put(keys[1], []byte("v1"))
+	if _, ok := c.Get(keys[0]); ok {
+		t.Fatal("evicted entry still served")
+	}
+	if got, ok := c.Get(keys[1]); !ok || string(got) != "v1" {
+		t.Fatalf("survivor = %q/%v", got, ok)
+	}
+	hits, misses, entries := c.Stats()
+	if hits != 2 || misses != 1 || entries < 1 {
+		t.Fatalf("stats = %d hits / %d misses / %d entries, want 2/1/>=1", hits, misses, entries)
+	}
+}
+
+func TestCacheUpdateExistingKey(t *testing.T) {
+	c := NewCache(64)
+	c.Put("k", []byte("old"))
+	c.Put("k", []byte("new"))
+	if got, ok := c.Get("k"); !ok || string(got) != "new" {
+		t.Fatalf("updated entry = %q/%v, want new/true", got, ok)
+	}
+	if _, _, entries := c.Stats(); entries != 1 {
+		t.Fatalf("entries = %d after in-place update, want 1", entries)
+	}
+}
+
+func TestCacheCapacityBound(t *testing.T) {
+	const capacity = 64
+	c := NewCache(capacity)
+	for i := 0; i < capacity*4; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), []byte("v"))
+	}
+	_, _, entries := c.Stats()
+	// Shard-local rounding can push the total slightly over capacity, never
+	// unboundedly.
+	if entries > capacity+cacheShards {
+		t.Fatalf("cache holds %d entries, capacity %d", entries, capacity)
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	c.Put("k", []byte("v"))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if h, m, e := c.Stats(); h != 0 || m != 0 || e != 0 {
+		t.Fatalf("nil cache stats %d/%d/%d", h, m, e)
+	}
+	if NewCache(0) != nil {
+		t.Fatal("NewCache(0) should disable caching")
+	}
+}
+
+func TestQueryFingerprint(t *testing.T) {
+	a := table.New("a", "x", "y")
+	a.MustAppendRow("1", "2")
+	sameContent := table.New("other_name", "x", "y")
+	sameContent.MustAppendRow("1", "2")
+	if queryFingerprint(a) != queryFingerprint(sameContent) {
+		t.Fatal("fingerprint depends on the table name")
+	}
+	diffRow := table.New("a", "x", "y")
+	diffRow.MustAppendRow("1", "3")
+	if queryFingerprint(a) == queryFingerprint(diffRow) {
+		t.Fatal("different rows share a fingerprint")
+	}
+	diffHeader := table.New("a", "x", "z")
+	diffHeader.MustAppendRow("1", "2")
+	if queryFingerprint(a) == queryFingerprint(diffHeader) {
+		t.Fatal("different headers share a fingerprint")
+	}
+	// Length-prefixing: ("ab","c") must not collide with ("a","bc").
+	p := table.New("p", "h1", "h2")
+	p.MustAppendRow("ab", "c")
+	q := table.New("q", "h1", "h2")
+	q.MustAppendRow("a", "bc")
+	if queryFingerprint(p) == queryFingerprint(q) {
+		t.Fatal("cell-boundary shift shares a fingerprint")
+	}
+}
+
+func TestCacheKeyComponents(t *testing.T) {
+	base := cacheKey("fp", 5, "tag", 1)
+	for _, other := range []string{
+		cacheKey("fq", 5, "tag", 1),
+		cacheKey("fp", 6, "tag", 1),
+		cacheKey("fp", 5, "tag2", 1),
+		cacheKey("fp", 5, "tag", 2),
+	} {
+		if other == base {
+			t.Fatalf("cache key %q ignores a component", base)
+		}
+	}
+}

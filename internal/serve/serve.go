@@ -1,0 +1,531 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dust"
+	"dust/internal/lake"
+	"dust/internal/par"
+	"dust/internal/search"
+	"dust/internal/table"
+)
+
+// DefaultK is the result count served when a search request does not name
+// one.
+const DefaultK = 10
+
+// DefaultMaxBodyBytes caps request bodies (64 MiB): a stray multi-gigabyte
+// upload must fail with 400, not buffer into the long-running server's
+// heap.
+const DefaultMaxBodyBytes = 64 << 20
+
+// Server is an http.Handler exposing one dust.Pipeline as a search service
+// with live mutation. See the package comment for the concurrency model.
+//
+// Endpoints:
+//
+//	POST   /search         run a diverse-tuple search (JSON or text/csv body)
+//	GET    /tables         list the lake's tables
+//	PUT    /tables/{name}  add a table to the lake and live index
+//	DELETE /tables/{name}  remove a table from the lake and live index
+//	GET    /stats          cache/admission/lake counters
+//	GET    /healthz        liveness + current epoch
+type Server struct {
+	snap  atomic.Pointer[Snapshot]
+	mu    sync.Mutex // serializes mutations: clone -> apply -> swap
+	cache *Cache
+	sem   chan struct{}
+
+	timeout      time.Duration
+	maxK         int
+	maxBody      int64
+	queryWorkers int
+
+	searches  atomic.Uint64 // successfully served, cached or not
+	mutations atomic.Uint64
+	rejected  atomic.Uint64 // admission/timeout/pipeline failures
+
+	mux *http.ServeMux
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithCacheCapacity bounds the query-result cache to about n responses
+// (default 1024); n <= 0 disables caching.
+func WithCacheCapacity(n int) Option { return func(s *Server) { s.cache = NewCache(n) } }
+
+// WithMaxInFlight bounds the number of concurrently executing searches
+// (default: the GOMAXPROCS-derived worker count). Excess requests wait for
+// a slot until their timeout and are then rejected with 503.
+func WithMaxInFlight(n int) Option {
+	return func(s *Server) { s.sem = make(chan struct{}, par.Normalize(n)) }
+}
+
+// WithQueryWorkers bounds the data parallelism inside each request
+// (default 1, so the in-flight bound alone governs total load).
+func WithQueryWorkers(n int) Option {
+	return func(s *Server) {
+		if n < 1 {
+			n = 1
+		}
+		s.queryWorkers = n
+	}
+}
+
+// WithTimeout sets the per-request budget threaded into SearchContext
+// (default 30s); d <= 0 disables the server-side deadline.
+func WithTimeout(d time.Duration) Option { return func(s *Server) { s.timeout = d } }
+
+// WithMaxK caps the per-request result count (default 1000).
+func WithMaxK(n int) Option { return func(s *Server) { s.maxK = n } }
+
+// WithMaxBodyBytes caps request body sizes (default DefaultMaxBodyBytes);
+// n <= 0 removes the cap.
+func WithMaxBodyBytes(n int64) Option { return func(s *Server) { s.maxBody = n } }
+
+// New wraps a pipeline in a Server. The pipeline must not be used by the
+// caller afterwards: the server owns it (mutations clone and swap it).
+func New(p *dust.Pipeline, opts ...Option) *Server {
+	s := &Server{
+		cache:        NewCache(1024),
+		timeout:      30 * time.Second,
+		maxK:         1000,
+		maxBody:      DefaultMaxBodyBytes,
+		queryWorkers: 1,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.sem == nil {
+		s.sem = make(chan struct{}, par.DefaultWorkers())
+	}
+	s.snap.Store(newSnapshot(p, s.queryWorkers))
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /search", s.handleSearch)
+	s.mux.HandleFunc("GET /tables", s.handleListTables)
+	s.mux.HandleFunc("PUT /tables/{name}", s.handlePutTable)
+	s.mux.HandleFunc("DELETE /tables/{name}", s.handleDeleteTable)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler. Bodies are capped before any handler
+// buffers them; past the cap, reads fail and the decoders report 400.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.maxBody > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// Snapshot returns the currently published snapshot (for tests and
+// embedding callers; requests load it exactly once themselves).
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// tableJSON is the wire form of a table: a header row plus value rows.
+type tableJSON struct {
+	Name    string     `json:"name,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// toTable validates the wire form and builds a table named name.
+func (tj *tableJSON) toTable(name string) (*table.Table, error) {
+	if len(tj.Headers) == 0 {
+		return nil, errors.New("table needs at least one header")
+	}
+	t := table.New(name, tj.Headers...)
+	for i, row := range tj.Rows {
+		if err := t.AppendRow(row); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+// fromTable converts a table to its wire form.
+func fromTable(t *table.Table) tableJSON {
+	rows := make([][]string, t.NumRows())
+	for i := range rows {
+		rows[i] = t.Row(i)
+	}
+	return tableJSON{Name: t.Name, Headers: t.Headers(), Rows: rows}
+}
+
+// searchRequest is the JSON body of POST /search.
+type searchRequest struct {
+	Query tableJSON `json:"query"`
+	K     int       `json:"k,omitempty"`
+}
+
+// provenanceJSON names the source of one result tuple.
+type provenanceJSON struct {
+	Table string `json:"table"`
+	Row   int    `json:"row"`
+}
+
+// searchResponse is the JSON body of a successful POST /search.
+type searchResponse struct {
+	Epoch      uint64           `json:"epoch"`
+	Cached     bool             `json:"cached"`
+	K          int              `json:"k"`
+	Tables     []string         `json:"tables"`
+	Pool       int              `json:"pool"`
+	Tuples     tableJSON        `json:"tuples"`
+	Provenance []provenanceJSON `json:"provenance"`
+}
+
+// errorJSON is the body of every non-2xx response.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// marshalJSON renders v the way every response body is rendered (no HTML
+// escaping, trailing newline), so cached bytes are byte-identical in shape
+// to live ones.
+func marshalJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := marshalJSON(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorJSON{Error: msg})
+}
+
+// decodeSearchRequest parses a /search body: JSON by default, or a raw
+// query CSV when Content-Type is text/csv (k then comes from the ?k= query
+// parameter) — the latter makes `curl --data-binary @query.csv` work
+// without any JSON assembly.
+func decodeSearchRequest(r *http.Request) (*table.Table, int, error) {
+	k := 0
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			return nil, 0, fmt.Errorf("bad k parameter %q", raw)
+		}
+		k = n
+	}
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "text/csv") {
+		rec, err := csv.NewReader(r.Body).ReadAll()
+		if err != nil {
+			return nil, 0, fmt.Errorf("bad csv body: %w", err)
+		}
+		if len(rec) == 0 {
+			return nil, 0, errors.New("empty csv body")
+		}
+		tj := tableJSON{Headers: rec[0], Rows: rec[1:]}
+		q, err := tj.toTable("query")
+		if err != nil {
+			return nil, 0, err
+		}
+		return q, k, nil
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req searchRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, 0, fmt.Errorf("bad request body: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return nil, 0, errors.New("trailing data after request body")
+	}
+	if k == 0 {
+		k = req.K
+	}
+	name := req.Query.Name
+	if name == "" {
+		name = "query"
+	}
+	q, err := req.Query.toTable(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return q, k, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	query, k, err := decodeSearchRequest(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	switch {
+	case k == 0:
+		k = DefaultK
+	case k < 0:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("k must be positive, got %d", k))
+		return
+	case k > s.maxK:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("k %d exceeds the server cap %d", k, s.maxK))
+		return
+	}
+
+	// One atomic load pins this request to a consistent snapshot: index,
+	// lake, config tag, and epoch all come from the same published state,
+	// no matter how many swaps happen while the query runs.
+	snap := s.snap.Load()
+	key := cacheKey(queryFingerprint(query), k, snap.tag, snap.Epoch())
+
+	// A cache hit is a map lookup plus a byte write — no pipeline work —
+	// so it is served before admission: a saturated server keeps answering
+	// cached traffic while shedding only queries that would cost compute.
+	if body, ok := s.cache.Get(key); ok {
+		s.searches.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+		return
+	}
+
+	// Admission: wait for an in-flight slot, but never past the request's
+	// deadline — a saturated server sheds load instead of queueing forever.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.rejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "server saturated: "+ctx.Err().Error())
+		return
+	}
+
+	res, err := snap.query.SearchContext(ctx, query, k)
+	if err != nil {
+		s.rejected.Add(1)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			httpError(w, http.StatusGatewayTimeout, err.Error())
+		case errors.Is(err, context.Canceled):
+			// The client went away; the status is for logs only.
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+		}
+		return
+	}
+
+	prov := make([]provenanceJSON, len(res.Provenance))
+	for i, p := range res.Provenance {
+		prov[i] = provenanceJSON{Table: p.Table, Row: p.Row}
+	}
+	// The result table's name derives from the client-chosen query name,
+	// which the cache fingerprint deliberately ignores; strip it so a
+	// cached body never leaks one client's name to another and cached
+	// bytes equal what any client's uncached request would produce.
+	tuples := fromTable(res.Tuples)
+	tuples.Name = ""
+	resp := searchResponse{
+		Epoch:      snap.Epoch(),
+		K:          k,
+		Tables:     res.UnionableTables,
+		Pool:       res.Unioned.NumRows(),
+		Tuples:     tuples,
+		Provenance: prov,
+	}
+	s.searches.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+
+	// Cache the response with Cached pre-flipped so hits are a pure
+	// lookup-and-write with zero marshaling on the hot path. marshalJSON
+	// keeps the cached bytes shaped exactly like the live ones.
+	resp.Cached = true
+	if body, err := marshalJSON(resp); err == nil {
+		s.cache.Put(key, body)
+	}
+}
+
+// mutate runs apply on a copy-on-write clone of the current snapshot's
+// pipeline under the mutation lock and publishes the result, returning the
+// published snapshot so callers report an (epoch, table count) pair that
+// actually existed — not state re-read after later swaps. In-flight
+// queries keep reading the old snapshot; they never block this swap and it
+// never blocks them.
+func (s *Server) mutate(apply func(p *dust.Pipeline) error) (*Snapshot, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snap.Load()
+	shadow, err := cur.master.Clone()
+	if err != nil {
+		return nil, http.StatusNotImplemented, err
+	}
+	if err := apply(shadow); err != nil {
+		switch {
+		case errors.Is(err, dust.ErrNotIncremental):
+			return nil, http.StatusNotImplemented, err
+		case errors.Is(err, lake.ErrUnknownTable):
+			// A concurrent mutation beat this one to the table.
+			return nil, http.StatusNotFound, err
+		case errors.Is(err, search.ErrDuplicateTable), errors.Is(err, lake.ErrDuplicateTable):
+			return nil, http.StatusConflict, err
+		}
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	next := newSnapshot(shadow, s.queryWorkers)
+	s.snap.Store(next)
+	s.mutations.Add(1)
+	return next, http.StatusOK, nil
+}
+
+// mutationResponse is the body of a successful table mutation.
+type mutationResponse struct {
+	Epoch  uint64 `json:"epoch"`
+	Table  string `json:"table"`
+	Tables int    `json:"tables"`
+}
+
+func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var tj tableJSON
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "text/csv") {
+		rec, err := csv.NewReader(r.Body).ReadAll()
+		if err != nil || len(rec) == 0 {
+			httpError(w, http.StatusBadRequest, "bad csv body")
+			return
+		}
+		tj = tableJSON{Headers: rec[0], Rows: rec[1:]}
+	} else {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&tj); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+	}
+	t, err := tj.toTable(name)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Duplicate probe outside mutate for a clean 409; the authoritative
+	// check is AddTable's own under the mutation lock.
+	if s.snap.Load().master.Lake().Get(name) != nil {
+		httpError(w, http.StatusConflict, fmt.Sprintf("table %q already in the lake", name))
+		return
+	}
+	next, status, err := s.mutate(func(p *dust.Pipeline) error { return p.AddTable(t) })
+	if err != nil {
+		httpError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, mutationResponse{
+		Epoch: next.Epoch(), Table: name, Tables: next.master.Lake().Len(),
+	})
+}
+
+func (s *Server) handleDeleteTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if s.snap.Load().master.Lake().Get(name) == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no table %q in the lake", name))
+		return
+	}
+	next, status, err := s.mutate(func(p *dust.Pipeline) error { return p.RemoveTable(name) })
+	if err != nil {
+		httpError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, mutationResponse{
+		Epoch: next.Epoch(), Table: name, Tables: next.master.Lake().Len(),
+	})
+}
+
+// tableInfoJSON is one entry of GET /tables.
+type tableInfoJSON struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+	Cols int    `json:"cols"`
+}
+
+func (s *Server) handleListTables(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	tables := snap.master.Lake().Tables()
+	out := struct {
+		Epoch  uint64          `json:"epoch"`
+		Tables []tableInfoJSON `json:"tables"`
+	}{Epoch: snap.Epoch(), Tables: make([]tableInfoJSON, len(tables))}
+	for i, t := range tables {
+		out.Tables[i] = tableInfoJSON{Name: t.Name, Rows: t.NumRows(), Cols: t.NumCols()}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// statsResponse is the body of GET /stats.
+type statsResponse struct {
+	Epoch     uint64 `json:"epoch"`
+	Tables    int    `json:"tables"`
+	Columns   int    `json:"columns"`
+	Tuples    int    `json:"tuples"`
+	Searches  uint64 `json:"searches"`
+	Mutations uint64 `json:"mutations"`
+	Rejected  uint64 `json:"rejected"`
+	InFlight  int    `json:"in_flight"`
+	MaxIn     int    `json:"max_in_flight"`
+	Cache     struct {
+		Hits    uint64 `json:"hits"`
+		Misses  uint64 `json:"misses"`
+		Entries int    `json:"entries"`
+	} `json:"cache"`
+	ConfigTag string `json:"config"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	st := snap.master.Lake().Stats()
+	resp := statsResponse{
+		Epoch:     snap.Epoch(),
+		Tables:    st.Tables,
+		Columns:   st.Columns,
+		Tuples:    st.Tuples,
+		Searches:  s.searches.Load(),
+		Mutations: s.mutations.Load(),
+		Rejected:  s.rejected.Load(),
+		InFlight:  len(s.sem),
+		MaxIn:     cap(s.sem),
+		ConfigTag: snap.tag,
+	}
+	resp.Cache.Hits, resp.Cache.Misses, resp.Cache.Entries = s.cache.Stats()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		Epoch  uint64 `json:"epoch"`
+		Tables int    `json:"tables"`
+	}{Status: "ok", Epoch: snap.Epoch(), Tables: snap.master.Lake().Len()})
+}

@@ -93,6 +93,20 @@ func (c *Corpus) RemoveDocument(tokens []string) {
 	c.numDocs--
 }
 
+// Clone returns a corpus with its own document-frequency map, so
+// AddDocument/RemoveDocument on the clone leave the original untouched
+// (copy-on-write index shadows depend on this).
+func (c *Corpus) Clone() *Corpus {
+	cp := &Corpus{numDocs: c.numDocs}
+	if c.docFreq != nil {
+		cp.docFreq = make(map[string]int, len(c.docFreq))
+		for t, df := range c.docFreq {
+			cp.docFreq[t] = df
+		}
+	}
+	return cp
+}
+
 // NumDocs returns the number of documents added.
 func (c *Corpus) NumDocs() int { return c.numDocs }
 

@@ -15,7 +15,9 @@ import (
 )
 
 // ManifestFormatVersion is the index-directory manifest payload version.
-const ManifestFormatVersion uint16 = 1
+// Version 2 appended the pipeline's mutation epoch; version-1 manifests
+// still load (their epoch reads as 0).
+const ManifestFormatVersion uint16 = 2
 
 // Index-directory layout. The manifest is written last so a directory with
 // a partial save (crash mid-write) is treated as having no index at all.
@@ -36,10 +38,38 @@ var (
 	// ErrNotIncremental reports AddTable/RemoveTable on a pipeline whose
 	// searcher does not implement search.Incremental.
 	ErrNotIncremental = errors.New("dust: searcher does not support incremental updates")
+	// ErrNotCloneable reports Clone on a pipeline whose searcher does not
+	// implement search.Cloner (the built-in Starmie and D3L searchers do).
+	ErrNotCloneable = errors.New("dust: searcher does not support cloning")
 )
 
 // Lake returns the data lake this pipeline searches.
 func (p *Pipeline) Lake() *lake.Lake { return p.lake }
+
+// Epoch returns the pipeline's index mutation epoch: 0 for a freshly built
+// pipeline (or the saved epoch for one warm-started from an index
+// directory), incremented by every successful AddTable/RemoveTable and
+// carried over by Clone. Two pipeline states with different epochs may rank
+// queries differently, so serving layers key their result caches by it.
+func (p *Pipeline) Epoch() uint64 { return p.epoch }
+
+// Clone returns an independently mutable copy of the pipeline: the lake and
+// the searcher's mutable containers are copied while the heavy immutable
+// index state (embedding vectors, signatures) is shared, so the clone costs
+// O(tables), not O(index). AddTable/RemoveTable on the clone leave the
+// original — and any queries in flight against it — untouched, which is
+// what lets a serving layer apply mutations on a copy-on-write shadow and
+// atomically swap it in. Requires a search.Cloner searcher.
+func (p *Pipeline) Clone() (*Pipeline, error) {
+	cl, ok := p.searcher.(search.Cloner)
+	if !ok {
+		return nil, fmt.Errorf("dust: Clone: %T: %w", p.searcher, ErrNotCloneable)
+	}
+	c := *p
+	c.lake = p.lake.Clone()
+	c.searcher = cl.CloneWithLake(c.lake)
+	return &c, nil
+}
 
 // AddTable adds a table to the lake and, via the searcher's delta update,
 // to the search index — no rebuild. Query results afterwards are
@@ -58,6 +88,7 @@ func (p *Pipeline) AddTable(t *table.Table) error {
 		_ = p.lake.Remove(t.Name)
 		return err
 	}
+	p.epoch++
 	return nil
 }
 
@@ -68,11 +99,22 @@ func (p *Pipeline) RemoveTable(name string) error {
 	if !ok {
 		return fmt.Errorf("dust: RemoveTable: %T: %w", p.searcher, ErrNotIncremental)
 	}
+	// Reject up front a table the lake does not hold, before the index is
+	// touched: not every searcher consults the lake on removal, and a
+	// half-applied removal would leave the index and lake disagreeing.
+	if p.lake.Get(name) == nil {
+		return fmt.Errorf("dust: RemoveTable: %w: %q", lake.ErrUnknownTable, name)
+	}
 	// Searchers un-index while the table is still in the lake (Starmie has
 	// to retire its columns from the corpus).
 	if err := inc.RemoveTable(name); err != nil {
 		return err
 	}
+	// The index has mutated: bump the epoch before the lake sync so an
+	// epoch-keyed cache can never conflate the new index state with the
+	// old, even if the (practically impossible, membership was checked
+	// above) lake removal fails.
+	p.epoch++
 	return p.lake.Remove(name)
 }
 
@@ -138,6 +180,7 @@ func (p *Pipeline) SaveIndex(dir string) error {
 		b.String(n)
 	}
 	b.Bool(hasModel)
+	b.Uvarint(p.epoch)
 	if err := writeFile(filepath.Join(dir, manifestFile), func(f io.Writer) error {
 		return codec.WriteEnvelope(f, codec.KindManifest, ManifestFormatVersion, b.Bytes())
 	}); err != nil {
@@ -175,7 +218,7 @@ func LoadPipelineLake(l *lake.Lake, indexDir string, opts ...Option) (*Pipeline,
 		}
 		return nil, err
 	}
-	_, payload, err := codec.ReadEnvelope(mf, codec.KindManifest, ManifestFormatVersion)
+	version, payload, err := codec.ReadEnvelope(mf, codec.KindManifest, ManifestFormatVersion)
 	mf.Close()
 	if err != nil {
 		return nil, fmt.Errorf("dust: load manifest: %w", err)
@@ -189,6 +232,10 @@ func LoadPipelineLake(l *lake.Lake, indexDir string, opts ...Option) (*Pipeline,
 		names = append(names, sc.String())
 	}
 	hasModel := sc.Bool()
+	var epoch uint64
+	if version >= 2 {
+		epoch = sc.Uvarint()
+	}
 	if err := sc.Finish(); err != nil {
 		return nil, fmt.Errorf("dust: load manifest: %w", err)
 	}
@@ -233,7 +280,11 @@ func LoadPipelineLake(l *lake.Lake, indexDir string, opts ...Option) (*Pipeline,
 		}
 		loaded = append(loaded, WithTupleEncoder(m))
 	}
-	return New(l, append(loaded, opts...)...), nil
+	p := New(l, append(loaded, opts...)...)
+	// Resume the saved mutation epoch so serving-layer caches keyed by
+	// (fingerprint, epoch) stay distinct across a save/load cycle.
+	p.epoch = epoch
+	return p, nil
 }
 
 // writeFile creates path, streams content through write, and closes it,
