@@ -1,5 +1,5 @@
 // Command dustbench regenerates the paper's tables and figures over the
-// synthetic benchmark corpus.
+// synthetic benchmark corpus, and benchmarks the staged retrieval engine.
 //
 // Usage:
 //
@@ -7,6 +7,13 @@
 //	dustbench                   # run everything at full scale
 //	dustbench -exp table2       # run one experiment
 //	dustbench -quick            # reduced scale (seconds instead of minutes)
+//
+//	dustbench -ann                     # exact vs HNSW retrieval on a 10k-table lake
+//	dustbench -ann -searcher tuples    # the tuple-level searcher instead of Starmie
+//	dustbench -ann -quick              # 1k tables
+//
+// The -ann run prints per-query exact/ANN latency with a recall@k column
+// and records the aggregate in BENCH_ann.json.
 package main
 
 import (
@@ -21,14 +28,26 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment to run (default: all)")
-		quick   = flag.Bool("quick", false, "reduced workload sizes")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		workers = flag.Int("workers", 0, "cap parallelism via GOMAXPROCS (0 = all cores); every parallel kernel derives its default from it")
+		exp      = flag.String("exp", "", "experiment to run (default: all)")
+		quick    = flag.Bool("quick", false, "reduced workload sizes")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		workers  = flag.Int("workers", 0, "cap parallelism via GOMAXPROCS (0 = all cores); every parallel kernel derives its default from it")
+		ann      = flag.Bool("ann", false, "benchmark staged retrieval (exact vs HNSW + recall@k) instead of the paper experiments")
+		searcher = flag.String("searcher", "starmie", "searcher for -ann: starmie or tuples")
+		annK     = flag.Int("k", 10, "top-k for the -ann benchmark's recall column")
+		annOut   = flag.String("ann-out", "BENCH_ann.json", "where -ann writes its JSON report")
 	)
 	flag.Parse()
 	if *workers > 0 {
 		runtime.GOMAXPROCS(*workers)
+	}
+
+	if *ann {
+		if err := runANNBench(*searcher, *quick, *annK, *annOut); err != nil {
+			fmt.Fprintln(os.Stderr, "dustbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *list {

@@ -23,6 +23,7 @@ import (
 	"dust"
 	"dust/internal/lake"
 	"dust/internal/model"
+	"dust/internal/search"
 	"dust/internal/table"
 )
 
@@ -37,6 +38,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallelism of indexing/embedding/diversification (0 = all cores, 1 = sequential)")
 		indexDir  = flag.String("index-dir", "", "saved-index directory: warm-start from it when present, create it otherwise")
 		saveIndex = flag.Bool("save-index", false, "rebuild the index and save it to -index-dir even if one exists")
+		ann       = flag.Bool("ann", false, "approximate candidate retrieval (HNSW) with exact re-ranking; trades a little recall for lake-size-independent latency. -ann=false forces exact retrieval even for an index saved in ANN mode; omit the flag to follow the saved index")
 	)
 	flag.Parse()
 	if *queryPath == "" || *lakeDir == "" {
@@ -57,6 +59,18 @@ func main() {
 		fatal(err)
 	}
 	opts := []dust.Option{dust.WithTopTables(*topTables), dust.WithWorkers(*workers)}
+	// Tri-state retrieval: an explicit -ann / -ann=false overrides the
+	// mode recorded in a warm-started index; omitting the flag follows it.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name != "ann" {
+			return
+		}
+		mode := search.Exact
+		if *ann {
+			mode = search.ANN
+		}
+		opts = append(opts, dust.WithRetriever(mode))
+	})
 	if *modelPath != "" {
 		f, err := os.Open(*modelPath)
 		if err != nil {

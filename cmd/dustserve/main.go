@@ -31,6 +31,7 @@ import (
 	"dust"
 	"dust/internal/lake"
 	"dust/internal/model"
+	"dust/internal/search"
 	"dust/internal/serve"
 )
 
@@ -46,6 +47,7 @@ func main() {
 		inflight  = flag.Int("inflight", 0, "max concurrent searches (0 = all cores)")
 		cacheCap  = flag.Int("cache", 1024, "query-result cache capacity (0 disables)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request budget (0 disables)")
+		ann       = flag.Bool("ann", false, "approximate candidate retrieval (HNSW) with exact re-ranking; the graph persists in -index-dir and follows live table mutations. -ann=false forces exact retrieval even for an index saved in ANN mode; omit the flag to follow the saved index")
 	)
 	flag.Parse()
 	if *lakeDir == "" {
@@ -58,6 +60,18 @@ func main() {
 		fatal(err)
 	}
 	opts := []dust.Option{dust.WithTopTables(*topTables), dust.WithWorkers(*workers)}
+	// Tri-state retrieval: an explicit -ann / -ann=false overrides the
+	// mode recorded in a warm-started index; omitting the flag follows it.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name != "ann" {
+			return
+		}
+		mode := search.Exact
+		if *ann {
+			mode = search.ANN
+		}
+		opts = append(opts, dust.WithRetriever(mode))
+	})
 	if *modelPath != "" {
 		f, err := os.Open(*modelPath)
 		if err != nil {

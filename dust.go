@@ -45,6 +45,7 @@ type Pipeline struct {
 	topTables   int
 	workers     int
 	workersSet  bool
+	retrieval   search.Mode
 	// epoch counts index mutations (AddTable/RemoveTable) over the
 	// pipeline's lifetime; see Epoch in persist.go. Serving layers key
 	// result caches by it.
@@ -75,6 +76,19 @@ func WithDistance(d vector.DistanceFunc) Option { return func(p *Pipeline) { p.d
 // WithTopTables sets how many unionable tables the search stage retrieves
 // before alignment (default: 10).
 func WithTopTables(n int) Option { return func(p *Pipeline) { p.topTables = n } }
+
+// WithRetriever selects the candidate-generation backend of the searcher's
+// staged query plan (default search.Exact, the seed behavior). search.ANN
+// switches the built-in searchers to approximate retrieval — HNSW over the
+// column embeddings for Starmie, the LSH banding index for D3L — whose
+// candidates are re-scored exactly, so query latency tracks the candidate
+// pool instead of the lake size. DUST itself only needs a candidate pool of
+// unionable tuples before diversification, which is what makes the
+// approximate stage safe for the pipeline's quality. A searcher supplied
+// via WithSearcher that does not implement search.Staged keeps its own
+// retrieval and ignores this option; a Mode value the search package does
+// not define makes New panic.
+func WithRetriever(m search.Mode) Option { return func(p *Pipeline) { p.retrieval = m } }
 
 // WithWorkers bounds the parallelism of each pipeline stage — lake
 // indexing, query scoring, tuple embedding, and the diversifier's distance
@@ -108,6 +122,16 @@ func New(l *lake.Lake, opts ...Option) *Pipeline {
 		// query-time scoring; without it the searcher keeps its own bound.
 		if qb, ok := p.searcher.(search.QueryBounded); ok {
 			p.searcher = qb.QueryWorkers(p.workers)
+		}
+	}
+	if p.retrieval != search.Exact {
+		if st, ok := p.searcher.(search.Staged); ok {
+			if err := st.SetMode(p.retrieval); err != nil {
+				// A Mode value this package does not define is a
+				// programming error; silently serving the exact scan
+				// would hide it behind nothing but latency.
+				panic(err)
+			}
 		}
 	}
 	return p

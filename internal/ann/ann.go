@@ -1,0 +1,436 @@
+// Package ann implements the approximate candidate-generation backend of
+// the staged query plan (retrieve -> score -> diversify): a Hierarchical
+// Navigable Small World graph (Malkov & Yashunin) over normalized float32
+// vectors, searched with the fused squared-euclidean kernel — monotone in
+// cosine similarity for unit vectors, so the nearest candidates under it
+// are the highest-cosine ones with no sqrt per hop.
+//
+// The index is append-only with tombstoned deletion: Remove marks a node
+// dead so searches skip it in their results while still traversing it for
+// connectivity, and DeletedFraction lets the owning searcher decide when
+// to rebuild from the live nodes (the searchers rebuild past one half
+// dead). Searches are safe to run concurrently; mutations (Add/Remove)
+// are not safe concurrently with anything — snapshot-swapped serving
+// mutates a Clone and swaps it in.
+//
+// Determinism: level assignment hashes (seed, node id) instead of drawing
+// from a shared RNG, so the graph produced by a given insertion sequence
+// is identical across runs, worker counts, and processes — which is what
+// lets recall tests, golden files, and the incremental-vs-rebuilt
+// equivalence harness pin ANN behavior at all.
+package ann
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"dust/internal/vector"
+)
+
+// Defaults; Config zero values take them.
+const (
+	// DefaultM is the neighbor budget per node per layer (the base layer
+	// allows 2M), the main memory/recall dial of HNSW.
+	DefaultM = 16
+	// DefaultEfConstruction is the beam width used while inserting.
+	DefaultEfConstruction = 200
+	// DefaultSeed salts the per-node level hash.
+	DefaultSeed = 0x_D057_AA11_2026
+	// maxLevel caps node levels so a corrupt or adversarial file cannot
+	// demand absurd per-node layer allocations (ln-distributed levels
+	// stay in single digits for any realistic index size).
+	maxLevel = 48
+)
+
+// Config shapes graph construction. The zero value takes the defaults.
+type Config struct {
+	M              int    // max neighbors per node per layer (base layer: 2M)
+	EfConstruction int    // insertion beam width
+	Seed           uint64 // level-hash salt
+}
+
+func (c *Config) defaults() {
+	if c.M <= 0 {
+		c.M = DefaultM
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = DefaultEfConstruction
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+}
+
+// Index is an HNSW graph. Node ids are assigned densely in insertion
+// order and never reused; a removed node keeps its id as a tombstone
+// until the owner rebuilds.
+type Index struct {
+	dim   int
+	m     int
+	efCon int
+	seed  uint64
+	mL    float64 // level multiplier, 1/ln(M)
+
+	vecs    []vector.Vec32
+	levels  []int32
+	links   [][][]int32 // node -> layer -> neighbor ids
+	deleted []bool
+	nDel    int
+	entry   int32 // -1 while empty
+	maxLvl  int32
+
+	// scratch pools the beam search's visited sets so a query does not
+	// pay an O(total nodes) allocate-and-zero per layer; a pointer so
+	// clones (and the shallow copies Clone starts from) share it safely.
+	scratch *sync.Pool
+}
+
+// visitSet is a generation-stamped visited set: marking and testing are
+// O(1), and reuse across searches skips the O(n) clear — the slice is
+// only re-zeroed when it grows or the uint32 generation wraps.
+type visitSet struct {
+	gen   uint32
+	marks []uint32
+}
+
+// next prepares the set for one traversal over n nodes.
+func (v *visitSet) next(n int) {
+	if len(v.marks) < n {
+		v.marks = make([]uint32, n)
+		v.gen = 0
+	}
+	if v.gen == ^uint32(0) {
+		clear(v.marks)
+		v.gen = 0
+	}
+	v.gen++
+}
+
+// visit marks id, reporting whether this is its first visit.
+func (v *visitSet) visit(id int32) bool {
+	if v.marks[id] == v.gen {
+		return false
+	}
+	v.marks[id] = v.gen
+	return true
+}
+
+// New creates an empty index over dim-dimensional vectors.
+func New(dim int, cfg Config) *Index {
+	if dim <= 0 {
+		panic(fmt.Sprintf("ann: dimension %d must be positive", dim))
+	}
+	cfg.defaults()
+	return &Index{
+		dim:     dim,
+		m:       cfg.M,
+		efCon:   cfg.EfConstruction,
+		seed:    cfg.Seed,
+		mL:      1 / math.Log(float64(cfg.M)),
+		entry:   -1,
+		scratch: &sync.Pool{New: func() any { return new(visitSet) }},
+	}
+}
+
+// Dim returns the vector dimension.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Len returns the number of nodes, tombstones included.
+func (ix *Index) Len() int { return len(ix.vecs) }
+
+// Live returns the number of non-tombstoned nodes.
+func (ix *Index) Live() int { return len(ix.vecs) - ix.nDel }
+
+// Deleted reports whether id is tombstoned.
+func (ix *Index) Deleted(id int) bool { return ix.deleted[id] }
+
+// DeletedFraction returns the tombstone share, the owner's rebuild signal.
+func (ix *Index) DeletedFraction() float64 {
+	if len(ix.vecs) == 0 {
+		return 0
+	}
+	return float64(ix.nDel) / float64(len(ix.vecs))
+}
+
+// Vec returns the stored vector of a node. Callers must not mutate it.
+func (ix *Index) Vec(id int) vector.Vec32 { return ix.vecs[id] }
+
+// item is one (distance, node) pair; all orderings tie-break on id so
+// traversal is deterministic.
+type item struct {
+	d  float32
+	id int32
+}
+
+func (a item) less(b item) bool { return a.d < b.d || (a.d == b.d && a.id < b.id) }
+
+// splitmix64 is the per-node level hash (Steele et al.); a hash rather
+// than an RNG so node i's level depends only on (seed, i).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (ix *Index) levelFor(id int) int {
+	u := (float64(splitmix64(ix.seed+uint64(id))>>11) + 0.5) / (1 << 53)
+	l := int(-math.Log(u) * ix.mL)
+	if l > maxLevel {
+		l = maxLevel
+	}
+	return l
+}
+
+// Add inserts a vector (copied) and returns its node id.
+func (ix *Index) Add(v vector.Vec32) int {
+	if len(v) != ix.dim {
+		panic(fmt.Sprintf("ann: Add dimension %d, index holds %d", len(v), ix.dim))
+	}
+	id := int32(len(ix.vecs))
+	lvl := ix.levelFor(int(id))
+	stored := make(vector.Vec32, len(v))
+	copy(stored, v)
+	ix.vecs = append(ix.vecs, stored)
+	ix.levels = append(ix.levels, int32(lvl))
+	ix.deleted = append(ix.deleted, false)
+	ix.links = append(ix.links, make([][]int32, lvl+1))
+	if ix.entry < 0 {
+		ix.entry, ix.maxLvl = id, int32(lvl)
+		return int(id)
+	}
+
+	ep := ix.entry
+	for l := int(ix.maxLvl); l > lvl; l-- {
+		ep = ix.greedy(stored, ep, l)
+	}
+	top := lvl
+	if int(ix.maxLvl) < top {
+		top = int(ix.maxLvl)
+	}
+	for l := top; l >= 0; l-- {
+		found := ix.searchLayer(stored, ep, ix.efCon, l, false)
+		neigh := ix.selectNeighbors(found, ix.m)
+		ix.links[id][l] = neigh
+		budget := ix.m
+		if l == 0 {
+			budget = 2 * ix.m
+		}
+		for _, nb := range neigh {
+			ix.linkBack(nb, id, l, budget)
+		}
+		if len(found) > 0 {
+			ep = found[0].id
+		}
+	}
+	if lvl > int(ix.maxLvl) {
+		ix.maxLvl, ix.entry = int32(lvl), id
+	}
+	return int(id)
+}
+
+// linkBack adds `id` to nb's layer-l neighbor list, re-selecting the list
+// down to budget when it overflows (distances taken from nb's vantage).
+func (ix *Index) linkBack(nb, id int32, l, budget int) {
+	list := append(ix.links[nb][l], id)
+	if len(list) <= budget {
+		ix.links[nb][l] = list
+		return
+	}
+	cands := make([]item, len(list))
+	for i, o := range list {
+		cands[i] = item{vector.SquaredEuclidean32(ix.vecs[nb], ix.vecs[o]), o}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].less(cands[j]) })
+	ix.links[nb][l] = ix.selectNeighbors(cands, budget)
+}
+
+// selectNeighbors applies the HNSW heuristic to candidates sorted by
+// distance: keep a candidate only if it is closer to the query point than
+// to every neighbor already kept, which preserves edges spanning distinct
+// directions (and, for our clustered lakes, distinct domains) instead of
+// m redundant edges into one tight cluster. Remaining slots are backfilled
+// with the nearest rejects so nodes keep their full degree.
+func (ix *Index) selectNeighbors(cands []item, m int) []int32 {
+	out := make([]int32, 0, m)
+	var rejected []item
+	for _, c := range cands {
+		if len(out) == m {
+			break
+		}
+		keep := true
+		for _, s := range out {
+			if vector.SquaredEuclidean32(ix.vecs[c.id], ix.vecs[s]) < c.d {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, c.id)
+		} else {
+			rejected = append(rejected, c)
+		}
+	}
+	for _, c := range rejected {
+		if len(out) == m {
+			break
+		}
+		out = append(out, c.id)
+	}
+	return out
+}
+
+// greedy descends one layer: repeatedly hop to the neighbor strictly
+// closer to q (ties to the smaller id, so the walk cannot cycle).
+func (ix *Index) greedy(q vector.Vec32, ep int32, layer int) int32 {
+	best := vector.SquaredEuclidean32(q, ix.vecs[ep])
+	for {
+		improved := false
+		for _, nb := range ix.links[ep][layer] {
+			if d := vector.SquaredEuclidean32(q, ix.vecs[nb]); d < best || (d == best && nb < ep) {
+				best, ep, improved = d, nb, true
+			}
+		}
+		if !improved {
+			return ep
+		}
+	}
+}
+
+// searchLayer is the HNSW beam search over one layer: keep the ef closest
+// admissible nodes seen, expand the closest unexpanded candidate, stop
+// once the next candidate cannot improve the beam. Returns the beam
+// sorted by (distance, id). With liveOnly, tombstoned nodes are still
+// traversed — deletions never disconnect the graph — but never occupy a
+// beam slot, so queries keep their full ef of live results without
+// widening the beam by the tombstone count.
+func (ix *Index) searchLayer(q vector.Vec32, ep int32, ef, layer int, liveOnly bool) []item {
+	visited := ix.scratch.Get().(*visitSet)
+	defer ix.scratch.Put(visited)
+	visited.next(len(ix.vecs))
+	visited.visit(ep)
+	first := item{vector.SquaredEuclidean32(q, ix.vecs[ep]), ep}
+	cand := minHeap{first}
+	var beam maxHeap
+	if !liveOnly || !ix.deleted[ep] {
+		beam.push(first)
+	}
+	for len(cand) > 0 {
+		c := cand.pop()
+		if len(beam) >= ef && beam[0].less(c) {
+			break
+		}
+		for _, nb := range ix.links[c.id][layer] {
+			if !visited.visit(nb) {
+				continue
+			}
+			it := item{vector.SquaredEuclidean32(q, ix.vecs[nb]), nb}
+			if len(beam) < ef || it.less(beam[0]) {
+				cand.push(it)
+				if liveOnly && ix.deleted[nb] {
+					continue
+				}
+				beam.push(it)
+				if len(beam) > ef {
+					beam.pop()
+				}
+			}
+		}
+	}
+	out := []item(beam)
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	return out
+}
+
+// Search returns up to n live node ids nearest q, closest first (ties by
+// id). ef bounds the base-layer beam and is clamped to at least n;
+// tombstoned nodes are traversed but never hold beam slots, so query
+// cost does not grow with the tombstone count.
+func (ix *Index) Search(q vector.Vec32, n, ef int) []int {
+	if n <= 0 || ix.entry < 0 || ix.Live() == 0 {
+		return nil
+	}
+	if len(q) != ix.dim {
+		panic(fmt.Sprintf("ann: Search dimension %d, index holds %d", len(q), ix.dim))
+	}
+	if ef < n {
+		ef = n
+	}
+	if ef > len(ix.vecs) {
+		ef = len(ix.vecs)
+	}
+	ep := ix.entry
+	for l := int(ix.maxLvl); l > 0; l-- {
+		ep = ix.greedy(q, ep, l)
+	}
+	found := ix.searchLayer(q, ep, ef, 0, true)
+	if len(found) > n {
+		found = found[:n]
+	}
+	out := make([]int, len(found))
+	for i, it := range found {
+		out[i] = int(it.id)
+	}
+	return out
+}
+
+// Remove tombstones a node: it stops appearing in search results but
+// keeps routing traffic until the owner rebuilds. Removing an unknown or
+// already-removed id is an error so owners catch bookkeeping bugs.
+func (ix *Index) Remove(id int) error {
+	if id < 0 || id >= len(ix.vecs) {
+		return fmt.Errorf("ann: Remove(%d): id out of range [0,%d)", id, len(ix.vecs))
+	}
+	if ix.deleted[id] {
+		return fmt.Errorf("ann: Remove(%d): already removed", id)
+	}
+	ix.deleted[id] = true
+	ix.nDel++
+	return nil
+}
+
+// Compact returns a fresh index holding only the live nodes, re-inserted
+// in id order — their original insertion order, so a compacted graph is
+// as deterministic as an incrementally built one. onLive reports each
+// survivor's (old id, new id) pair in insertion order so owners can
+// rebook their id-parallel state. The receiver is not modified.
+func (ix *Index) Compact(onLive func(oldID, newID int)) *Index {
+	out := New(ix.dim, Config{M: ix.m, EfConstruction: ix.efCon, Seed: ix.seed})
+	for id := range ix.vecs {
+		if ix.deleted[id] {
+			continue
+		}
+		nid := out.Add(ix.vecs[id])
+		if onLive != nil {
+			onLive(id, nid)
+		}
+	}
+	return out
+}
+
+// Clone returns an independently mutable copy: adjacency lists and
+// tombstones are deep-copied (insertion rewires neighbors in place) while
+// the vectors themselves — immutable once stored — are shared. Serving
+// layers mutate the clone and atomically swap it in; searches in flight
+// on the original keep reading a frozen graph.
+func (ix *Index) Clone() *Index {
+	c := *ix
+	c.vecs = make([]vector.Vec32, len(ix.vecs))
+	copy(c.vecs, ix.vecs)
+	c.levels = make([]int32, len(ix.levels))
+	copy(c.levels, ix.levels)
+	c.deleted = make([]bool, len(ix.deleted))
+	copy(c.deleted, ix.deleted)
+	c.links = make([][][]int32, len(ix.links))
+	for i, layers := range ix.links {
+		nl := make([][]int32, len(layers))
+		for l, nbs := range layers {
+			nl[l] = make([]int32, len(nbs))
+			copy(nl[l], nbs)
+		}
+		c.links[i] = nl
+	}
+	return &c
+}

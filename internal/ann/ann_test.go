@@ -1,0 +1,297 @@
+package ann
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dust/internal/codec"
+	"dust/internal/vector"
+)
+
+// randomUnit generates clustered unit vectors: `clusters` centers with
+// small per-point noise, the geometry of a data lake full of near-copies.
+func clusteredVecs(n, dim, clusters int, seed int64) []vector.Vec32 {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]vector.Vec, clusters)
+	for i := range centers {
+		c := make(vector.Vec, dim)
+		for j := range c {
+			c[j] = rng.NormFloat64()
+		}
+		centers[i] = vector.Normalize(c)
+	}
+	out := make([]vector.Vec32, n)
+	for i := range out {
+		c := centers[i%clusters]
+		v := make(vector.Vec, dim)
+		for j := range v {
+			v[j] = c[j] + 0.15*rng.NormFloat64()
+		}
+		out[i] = vector.ToVec32(vector.Normalize(v))
+	}
+	return out
+}
+
+// bruteTopN is the exact oracle: ids sorted by (distance, id).
+func bruteTopN(ix *Index, q vector.Vec32, n int) []int {
+	type di struct {
+		d  float32
+		id int
+	}
+	var all []di
+	for id := 0; id < ix.Len(); id++ {
+		if ix.Deleted(id) {
+			continue
+		}
+		all = append(all, di{vector.SquaredEuclidean32(q, ix.Vec(id)), id})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		return all[i].d < all[j].d || (all[i].d == all[j].d && all[i].id < all[j].id)
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	out := make([]int, len(all))
+	for i, e := range all {
+		out[i] = e.id
+	}
+	return out
+}
+
+func buildIndex(vecs []vector.Vec32) *Index {
+	ix := New(len(vecs[0]), Config{})
+	for _, v := range vecs {
+		ix.Add(v)
+	}
+	return ix
+}
+
+func TestSearchRecallVsBruteForce(t *testing.T) {
+	vecs := clusteredVecs(2000, 32, 8, 7)
+	ix := buildIndex(vecs)
+	queries := clusteredVecs(50, 32, 8, 99)
+	const k = 10
+	hits, total := 0, 0
+	for _, q := range queries {
+		want := bruteTopN(ix, q, k)
+		got := ix.Search(q, k, 100)
+		in := make(map[int]bool, len(got))
+		for _, id := range got {
+			in[id] = true
+		}
+		for _, id := range want {
+			total++
+			if in[id] {
+				hits++
+			}
+		}
+	}
+	if recall := float64(hits) / float64(total); recall < 0.95 {
+		t.Fatalf("recall@%d = %.3f, want >= 0.95", k, recall)
+	}
+}
+
+func TestSearchExactOnTinyIndex(t *testing.T) {
+	// With ef >= n the beam covers everything reachable, so a small
+	// index must return the exact nearest neighbors in exact order.
+	vecs := clusteredVecs(40, 16, 3, 3)
+	ix := buildIndex(vecs)
+	for qi, q := range clusteredVecs(10, 16, 3, 4) {
+		want := bruteTopN(ix, q, 5)
+		got := ix.Search(q, 5, ix.Len())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: got %v, want %v", qi, got, want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	vecs := clusteredVecs(500, 16, 4, 11)
+	a, b := buildIndex(vecs), buildIndex(vecs)
+	q := clusteredVecs(1, 16, 4, 12)[0]
+	for _, n := range []int{1, 5, 20} {
+		if ga, gb := a.Search(q, n, 64), b.Search(q, n, 64); !reflect.DeepEqual(ga, gb) {
+			t.Fatalf("n=%d: two identical builds disagree: %v vs %v", n, ga, gb)
+		}
+	}
+}
+
+func TestRemoveTombstones(t *testing.T) {
+	vecs := clusteredVecs(200, 16, 4, 21)
+	ix := buildIndex(vecs)
+	q := vecs[17]
+	top := ix.Search(q, 1, 32)
+	if len(top) != 1 || top[0] != 17 {
+		t.Fatalf("self-search returned %v, want [17]", top)
+	}
+	if err := ix.Remove(17); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Remove(17); err == nil {
+		t.Fatal("double Remove did not error")
+	}
+	if err := ix.Remove(-1); err == nil {
+		t.Fatal("Remove(-1) did not error")
+	}
+	if ix.Live() != 199 || !ix.Deleted(17) {
+		t.Fatalf("Live=%d Deleted(17)=%v after remove", ix.Live(), ix.Deleted(17))
+	}
+	for _, id := range ix.Search(q, 50, 64) {
+		if id == 17 {
+			t.Fatal("tombstoned node surfaced in search results")
+		}
+	}
+	// Results must match a brute-force scan that skips the tombstone.
+	want := bruteTopN(ix, q, 5)
+	got := ix.Search(q, 5, ix.Len())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-remove search %v, want %v", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	vecs := clusteredVecs(100, 16, 2, 31)
+	ix := buildIndex(vecs)
+	q := vecs[3]
+	before := ix.Search(q, 10, 64)
+
+	cl := ix.Clone()
+	if err := cl.Remove(before[0]); err != nil {
+		t.Fatal(err)
+	}
+	extra := clusteredVecs(20, 16, 2, 32)
+	for _, v := range extra {
+		cl.Add(v)
+	}
+	after := ix.Search(q, 10, 64)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("mutating a clone changed the original: %v -> %v", before, after)
+	}
+	if cl.Len() != 120 || cl.Live() != 119 {
+		t.Fatalf("clone Len=%d Live=%d, want 120/119", cl.Len(), cl.Live())
+	}
+}
+
+func roundTrip(t *testing.T, ix *Index) *Index {
+	t.Helper()
+	var b codec.Buffer
+	ix.Encode(&b)
+	sc := codec.NewScanner(b.Bytes())
+	got, err := Decode(sc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := sc.Finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	return got
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	vecs := clusteredVecs(300, 16, 4, 41)
+	ix := buildIndex(vecs)
+	for _, id := range []int{5, 77, 142} {
+		if err := ix.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := roundTrip(t, ix)
+	if got.Len() != ix.Len() || got.Live() != ix.Live() || got.Dim() != ix.Dim() {
+		t.Fatalf("round trip changed shape: %d/%d/%d vs %d/%d/%d",
+			got.Len(), got.Live(), got.Dim(), ix.Len(), ix.Live(), ix.Dim())
+	}
+	q := clusteredVecs(1, 16, 4, 42)[0]
+	if a, b := ix.Search(q, 10, 64), got.Search(q, 10, 64); !reflect.DeepEqual(a, b) {
+		t.Fatalf("round trip changed search results: %v vs %v", a, b)
+	}
+	// A decoded graph must keep growing exactly like the original.
+	extra := clusteredVecs(10, 16, 4, 43)
+	for _, v := range extra {
+		ix.Add(v)
+		got.Add(v)
+	}
+	if a, b := ix.Search(q, 10, 64), got.Search(q, 10, 64); !reflect.DeepEqual(a, b) {
+		t.Fatalf("post-decode growth diverged: %v vs %v", a, b)
+	}
+
+	empty := roundTrip(t, New(8, Config{}))
+	if empty.Len() != 0 || empty.Search(make(vector.Vec32, 8), 3, 8) != nil {
+		t.Fatal("empty index did not round-trip to an empty index")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	ix := buildIndex(clusteredVecs(50, 8, 2, 51))
+	var b codec.Buffer
+	ix.Encode(&b)
+	valid := b.Bytes()
+
+	// Truncations at every prefix must error, never panic.
+	for cut := 0; cut < len(valid); cut += 7 {
+		sc := codec.NewScanner(valid[:cut])
+		if ix, err := Decode(sc); err == nil && sc.Finish() == nil {
+			_ = ix.Search(make(vector.Vec32, ix.Dim()), 3, 8)
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+
+	bad := []struct {
+		name string
+		mut  func() *codec.Buffer
+	}{
+		{"zero dim", func() *codec.Buffer {
+			var b codec.Buffer
+			b.Int(0)
+			return &b
+		}},
+		{"huge M", func() *codec.Buffer {
+			var b codec.Buffer
+			b.Int(8)
+			b.Int(1 << 20)
+			b.Int(10)
+			b.Uvarint(1)
+			b.Int(0)
+			return &b
+		}},
+		{"entry out of range", func() *codec.Buffer {
+			var b codec.Buffer
+			b.Int(8)
+			b.Int(4)
+			b.Int(10)
+			b.Uvarint(1)
+			b.Int(1) // one node
+			b.Int(9) // entry 9 of 1
+			b.Int(0) // maxLvl
+			return &b
+		}},
+	}
+	for _, tc := range bad {
+		if _, err := Decode(codec.NewScanner(tc.mut().Bytes())); !errors.Is(err, codec.ErrCorrupt) && !errors.Is(err, codec.ErrTruncated) {
+			t.Errorf("%s: err = %v, want ErrCorrupt/ErrTruncated", tc.name, err)
+		}
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		vecs := clusteredVecs(n, 64, 10, 61)
+		ix := buildIndex(vecs)
+		q := clusteredVecs(1, 64, 10, 62)[0]
+		b.Run(fmt.Sprintf("hnsw/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ix.Search(q, 10, 100)
+			}
+		})
+		b.Run(fmt.Sprintf("brute/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bruteTopN(ix, q, 10)
+			}
+		})
+	}
+}

@@ -1,0 +1,145 @@
+package ann
+
+import (
+	"fmt"
+
+	"dust/internal/codec"
+)
+
+// Graph (de)serialization. Encode/Decode handle one payload section — the
+// enclosing envelope (kind codec.KindANN, owned by the searcher that
+// embeds the graph alongside its own identity) provides magic, versioning,
+// and the checksum. Decode validates every structural invariant the
+// traversal code relies on — levels, link shapes, neighbor ranges, the
+// entry point — so a corrupt or hostile graph fails with a typed error
+// instead of panicking mid-search.
+
+// Encode appends the graph to b.
+func (ix *Index) Encode(b *codec.Buffer) {
+	b.Int(ix.dim)
+	b.Int(ix.m)
+	b.Int(ix.efCon)
+	b.Uvarint(ix.seed)
+	n := len(ix.vecs)
+	b.Int(n)
+	if n > 0 {
+		b.Int(int(ix.entry))
+		b.Int(int(ix.maxLvl))
+	}
+	for i := 0; i < n; i++ {
+		b.Int(int(ix.levels[i]))
+		b.Bool(ix.deleted[i])
+		b.Float32s(ix.vecs[i])
+		for _, nbs := range ix.links[i] {
+			b.Int(len(nbs))
+			for _, nb := range nbs {
+				b.Int(int(nb))
+			}
+		}
+	}
+}
+
+// Decode reads a graph written by Encode from sc, validating structure as
+// it goes. On any inconsistency it returns an error wrapping
+// codec.ErrCorrupt (or the scanner's truncation error) and never panics.
+func Decode(sc *codec.Scanner) (*Index, error) {
+	fail := func(format string, args ...any) (*Index, error) {
+		return nil, fmt.Errorf("ann: "+format+": %w", append(args, codec.ErrCorrupt)...)
+	}
+	dim := sc.Int()
+	m := sc.Int()
+	efCon := sc.Int()
+	seed := sc.Uvarint()
+	n := sc.Int()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if dim <= 0 || dim > 1<<16 {
+		return fail("dimension %d out of range", dim)
+	}
+	if m <= 0 || m > 1<<12 || efCon <= 0 || efCon > 1<<20 {
+		return fail("parameters M=%d ef=%d out of range", m, efCon)
+	}
+	ix := New(dim, Config{M: m, EfConstruction: efCon, Seed: seed})
+	if n == 0 {
+		return ix, sc.Err()
+	}
+	entry := sc.Int()
+	maxLvl := sc.Int()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if entry < 0 || entry >= n {
+		return fail("entry point %d out of range [0,%d)", entry, n)
+	}
+	if maxLvl < 0 || maxLvl > maxLevel {
+		return fail("max level %d out of range", maxLvl)
+	}
+	ix.entry, ix.maxLvl = int32(entry), int32(maxLvl)
+
+	for i := 0; i < n && sc.Err() == nil; i++ {
+		lvl := sc.Int()
+		dead := sc.Bool()
+		vec := sc.Float32s()
+		if sc.Err() != nil {
+			break
+		}
+		if lvl < 0 || lvl > maxLvl {
+			return fail("node %d level %d out of range [0,%d]", i, lvl, maxLvl)
+		}
+		if len(vec) != dim {
+			return fail("node %d has dim %d, want %d", i, len(vec), dim)
+		}
+		layers := make([][]int32, lvl+1)
+		for l := 0; l <= lvl && sc.Err() == nil; l++ {
+			cnt := sc.Int()
+			if sc.Err() != nil {
+				break
+			}
+			budget := 2 * m
+			if l > 0 {
+				budget = m
+			}
+			if cnt > budget {
+				return fail("node %d layer %d has %d neighbors, budget %d", i, l, cnt, budget)
+			}
+			nbs := make([]int32, 0, cnt)
+			for j := 0; j < cnt && sc.Err() == nil; j++ {
+				nb := sc.Int()
+				if sc.Err() != nil {
+					break
+				}
+				if nb >= n {
+					return fail("node %d layer %d neighbor %d out of range [0,%d)", i, l, nb, n)
+				}
+				nbs = append(nbs, int32(nb))
+			}
+			layers[l] = nbs
+		}
+		ix.vecs = append(ix.vecs, vec)
+		ix.levels = append(ix.levels, int32(lvl))
+		ix.deleted = append(ix.deleted, dead)
+		if dead {
+			ix.nDel++
+		}
+		ix.links = append(ix.links, layers)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if ix.levels[entry] != int32(maxLvl) {
+		return fail("entry point %d has level %d, graph declares %d", entry, ix.levels[entry], maxLvl)
+	}
+	// Edges may only point at nodes that exist on that layer; the greedy
+	// descent indexes links[nb][l] without re-checking.
+	for i, layers := range ix.links {
+		for l, nbs := range layers {
+			for _, nb := range nbs {
+				if int(ix.levels[nb]) < l {
+					return fail("node %d layer %d links to node %d of level %d", i, l, nb, ix.levels[nb])
+				}
+			}
+		}
+	}
+	return ix, nil
+}

@@ -1,0 +1,89 @@
+package ann
+
+// minHeap pops the closest item first (exploration order); maxHeap keeps
+// its furthest item at the root (beam eviction). Both are plain binary
+// heaps over item with the deterministic (distance, id) ordering —
+// hand-rolled rather than container/heap to keep the per-hop cost to a
+// couple of comparisons with no interface dispatch.
+
+type minHeap []item
+
+func (h *minHeap) push(it item) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s[i].less(s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *minHeap) pop() item {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s[l].less(s[small]) {
+			small = l
+		}
+		if r < n && s[r].less(s[small]) {
+			small = r
+		}
+		if small == i {
+			return top
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+}
+
+type maxHeap []item
+
+func (h *maxHeap) push(it item) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s[p].less(s[i]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *maxHeap) pop() item {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && s[big].less(s[l]) {
+			big = l
+		}
+		if r < n && s[big].less(s[r]) {
+			big = r
+		}
+		if big == i {
+			return top
+		}
+		s[i], s[big] = s[big], s[i]
+		i = big
+	}
+}

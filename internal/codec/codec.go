@@ -57,6 +57,7 @@ const (
 	KindD3L      byte = 'D' // D3L multi-signal index
 	KindTuples   byte = 'T' // tuple-level index
 	KindManifest byte = 'M' // pipeline index-directory manifest
+	KindANN      byte = 'A' // HNSW approximate candidate graph
 )
 
 const (
@@ -165,6 +166,14 @@ func (b *Buffer) String(s string) {
 	b.buf = append(b.buf, s...)
 }
 
+// Strings appends a length-prefixed []string.
+func (b *Buffer) Strings(v []string) {
+	b.Int(len(v))
+	for _, s := range v {
+		b.String(s)
+	}
+}
+
 // Float64 appends one float64 as its IEEE-754 bits.
 func (b *Buffer) Float64(f float64) {
 	b.buf = binary.LittleEndian.AppendUint64(b.buf, math.Float64bits(f))
@@ -175,6 +184,15 @@ func (b *Buffer) Float64s(v []float64) {
 	b.Int(len(v))
 	for _, f := range v {
 		b.Float64(f)
+	}
+}
+
+// Float32s appends a length-prefixed []float32 (fixed width; ANN graph
+// vectors are stored at float32 precision).
+func (b *Buffer) Float32s(v []float32) {
+	b.Int(len(v))
+	for _, f := range v {
+		b.buf = binary.LittleEndian.AppendUint32(b.buf, math.Float32bits(f))
 	}
 }
 
@@ -284,6 +302,29 @@ func (s *Scanner) String() string {
 	return out
 }
 
+// Strings reads a length-prefixed []string. The count is validated
+// against the remaining input (every element costs at least its length
+// prefix) before allocating, so a hostile count cannot force a large
+// allocation.
+func (s *Scanner) Strings() []string {
+	n := s.Int()
+	if s.err != nil {
+		return nil
+	}
+	if n > s.remaining() {
+		s.fail(ErrTruncated)
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n && s.err == nil; i++ {
+		out = append(out, s.String())
+	}
+	if s.err != nil {
+		return nil
+	}
+	return out
+}
+
 // Float64 reads one float64.
 func (s *Scanner) Float64() float64 {
 	if s.err != nil {
@@ -312,6 +353,24 @@ func (s *Scanner) Float64s() []float64 {
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(s.buf[s.off:]))
 		s.off += 8
+	}
+	return out
+}
+
+// Float32s reads a length-prefixed []float32.
+func (s *Scanner) Float32s() []float32 {
+	n := s.Int()
+	if s.err != nil {
+		return nil
+	}
+	if n > s.remaining()/4 {
+		s.fail(ErrTruncated)
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(s.buf[s.off:]))
+		s.off += 4
 	}
 	return out
 }

@@ -99,6 +99,8 @@ func TestBufferScannerRoundTrip(t *testing.T) {
 	b.Float64s(nil)
 	b.Float64s([]float64{})
 	b.Float64s([]float64{1, -2.5, 1e-300})
+	b.Float32s(nil)
+	b.Float32s([]float32{1.5, -0.25, 3e7})
 	b.Uint64s([]uint64{math.MaxUint64, 0, 7})
 
 	s := NewScanner(b.Bytes())
@@ -134,6 +136,12 @@ func TestBufferScannerRoundTrip(t *testing.T) {
 	}
 	if got := s.Float64s(); !reflect.DeepEqual(got, []float64{1, -2.5, 1e-300}) {
 		t.Errorf("float64s = %v", got)
+	}
+	if got := s.Float32s(); len(got) != 0 {
+		t.Errorf("nil float32s = %v", got)
+	}
+	if got := s.Float32s(); !reflect.DeepEqual(got, []float32{1.5, -0.25, 3e7}) {
+		t.Errorf("float32s = %v", got)
 	}
 	if got := s.Uint64s(); !reflect.DeepEqual(got, []uint64{math.MaxUint64, 0, 7}) {
 		t.Errorf("uint64s = %v", got)
@@ -172,6 +180,14 @@ func TestScannerHostileLengths(t *testing.T) {
 	}
 	if s.Err() == nil {
 		t.Error("no error for hostile length")
+	}
+
+	s = NewScanner(b.Bytes())
+	if got := s.Float32s(); got != nil {
+		t.Errorf("got %v", got)
+	}
+	if s.Err() == nil {
+		t.Error("no error for hostile float32 length")
 	}
 
 	s = NewScanner(b.Bytes())

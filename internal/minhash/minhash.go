@@ -251,9 +251,16 @@ type Candidate struct {
 }
 
 // Query signs the value set and returns all indexed keys sharing at least
-// one LSH bucket, with estimated Jaccard similarities, unsorted.
+// one LSH bucket, with estimated Jaccard similarities, unsorted. Callers
+// that already hold a signature from this index's hasher use QuerySig and
+// skip the signing pass.
 func (idx *Index) Query(values []string) []Candidate {
-	sig := idx.hasher.Sign(values)
+	return idx.QuerySig(idx.hasher.Sign(values))
+}
+
+// QuerySig is Query for a pre-computed signature (which must come from
+// this index's hasher).
+func (idx *Index) QuerySig(sig Signature) []Candidate {
 	seen := map[int]bool{}
 	var out []Candidate
 	for b := 0; b < idx.bands; b++ {

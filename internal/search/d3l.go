@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -27,6 +28,11 @@ type D3L struct {
 	lake    *lake.Lake
 	enc     *embed.Encoder
 	workers int
+	// mode selects the retrieval stage: Exact scans the lake; ANN re-uses
+	// the LSH banding index as the candidate generator (D3L's own pruning
+	// structure — no separate HNSW graph to maintain) and re-scores the
+	// bucketed candidates with the full five-signal aggregate.
+	mode Mode
 
 	hasher  *minhash.Hasher
 	sigs    map[string][]minhash.Signature // per table: column signatures
@@ -72,6 +78,9 @@ func NewD3L(l *lake.Lake, opts ...Option) *D3L {
 	for ti, t := range tables {
 		d.install(t.Name, indexed[ti])
 	}
+	if o.mode != Exact {
+		_ = d.SetMode(o.mode)
+	}
 	return d
 }
 
@@ -106,8 +115,75 @@ func (d *D3L) install(name string, idx d3lTableIndex) {
 	d.numeric[name] = idx.nps
 }
 
-// Name implements Searcher.
-func (d *D3L) Name() string { return "d3l" }
+// Name implements Searcher; the suffix keeps config tags distinct
+// between the exact and the LSH-pruned query plans.
+func (d *D3L) Name() string {
+	if d.mode == ANN {
+		return "d3l+lsh"
+	}
+	return "d3l"
+}
+
+// SetMode implements Staged. D3L's approximate backend is its LSH banding
+// index rather than HNSW, so switching is free: the index already exists
+// for the value-overlap signal.
+func (d *D3L) SetMode(m Mode) error {
+	if m != Exact && m != ANN {
+		return fmt.Errorf("d3l: SetMode(%d): %w", int(m), ErrUnknownMode)
+	}
+	d.mode = m
+	return nil
+}
+
+// RetrievalMode implements Staged.
+func (d *D3L) RetrievalMode() Mode { return d.mode }
+
+// Retriever implements Staged.
+func (d *D3L) Retriever() Retriever {
+	if d.mode == ANN {
+		return lshRetriever{d}
+	}
+	return exactRetriever{d.lake}
+}
+
+// lshRetriever re-expresses D3L's pruning path (CandidateTables) through
+// the staged Retriever interface: candidates are the tables sharing an
+// LSH bucket with any query column. The limit is advisory — LSH buckets
+// are set-shaped — and recall depends on value overlap, so queries whose
+// unionable tables share few values retrieve less than the HNSW backends
+// would.
+type lshRetriever struct{ d *D3L }
+
+func (lshRetriever) Name() string { return "lsh" }
+
+func (r lshRetriever) Retrieve(ctx context.Context, query *table.Table, _ int) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sigs := make([]minhash.Signature, query.NumCols())
+	for i := range query.Columns {
+		sigs[i] = r.d.hasher.Sign(query.Columns[i].Values)
+	}
+	return r.d.candidateNamesSigned(sigs), nil
+}
+
+// candidateNamesSigned is the LSH retrieval stage for query-column
+// signatures the caller already computed (TopKContext signs every column
+// for the value-overlap score anyway), name-sorted for determinism.
+func (d *D3L) candidateNamesSigned(sigs []minhash.Signature) []string {
+	set := map[string]bool{}
+	for _, sig := range sigs {
+		for _, c := range d.lsh.QuerySig(sig) {
+			set[c.Key] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // AddTable implements Incremental: only the new table's signals are
 // computed; everything already indexed is untouched, so the update costs
@@ -216,7 +292,24 @@ func (d *D3L) TopKContext(ctx context.Context, query *table.Table, k int) ([]Sco
 		qFmts[i] = profileFormat(col.Values)
 		qNums[i] = profileNumeric(col.Values)
 	}
-	return rankAllCtx(ctx, d.lake, k, d.workers, func(t *table.Table) float64 {
+	cands := d.lake.Tables()
+	if d.mode == ANN && k > 0 {
+		// The per-column signatures above serve double duty: the
+		// value-overlap score and, here, the LSH candidate lookup.
+		names := d.candidateNamesSigned(qSigs)
+		if len(names) > 0 {
+			// Empty LSH buckets (no value overlap anywhere) fall through
+			// to the exact scan: a best-effort ranking, like exact mode,
+			// beats turning a valid query into "no results".
+			cands = cands[:0:0]
+			for _, name := range names {
+				if t := d.lake.Get(name); t != nil {
+					cands = append(cands, t)
+				}
+			}
+		}
+	}
+	return rankTablesCtx(ctx, cands, k, d.workers, func(t *table.Table) float64 {
 		if t.NumCols() == 0 || n == 0 {
 			return 0
 		}

@@ -7,10 +7,12 @@ import (
 	"testing"
 )
 
-// FuzzLoadIndex throws arbitrary bytes at all three index loaders: every
-// input must return cleanly — a loaded index or a typed error — and never
-// panic or over-allocate. Seeds are the golden index files (valid inputs
-// whose mutations explore deep decoder paths) plus envelope fragments.
+// FuzzLoadIndex throws arbitrary bytes at all four index loaders — the
+// three searcher codecs and the HNSW candidate-graph codec: every input
+// must return cleanly — a loaded index or a typed error — and never panic
+// or over-allocate. Seeds are the golden index files (valid inputs whose
+// mutations explore deep decoder paths), a freshly saved ANN graph, and
+// envelope fragments.
 func FuzzLoadIndex(f *testing.F) {
 	for _, name := range []string{"starmie", "d3l", "tuples"} {
 		if data, err := os.ReadFile(filepath.Join("testdata", "golden_"+name+".idx")); err == nil {
@@ -20,9 +22,22 @@ func FuzzLoadIndex(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("DSTIDX"))
 	f.Add([]byte("DSTIDXS\x01\x00\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte("DSTIDXA\x01\x00\xff\xff\xff\xff\xff\xff\xff\xff"))
 
 	b := persistBench(f)
 	tables := b.Lake.Tables()
+	// annHost stays pristine; each iteration loads into a throwaway
+	// clone so no fuzz input's graph survives into later iterations —
+	// a recorded crasher must reproduce on a fresh host. The seed
+	// corpus includes annHost's own valid graph so mutations explore
+	// the deep graph-decoder paths.
+	annHost := NewStarmie(b.Lake, WithMode(ANN))
+	var annSeed bytes.Buffer
+	if err := annHost.SaveANN(&annSeed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(annSeed.Bytes())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// A successful load must yield a usable index; errors just return.
 		if s, err := LoadStarmie(bytes.NewReader(data), b.Lake); err == nil {
@@ -33,6 +48,12 @@ func FuzzLoadIndex(f *testing.F) {
 		}
 		if ts, err := LoadTupleSearch(bytes.NewReader(data), tables); err == nil {
 			ts.TopK(b.Queries[0], 3)
+		}
+		// Corrupt graph bytes must error, never panic; an accepted graph
+		// must survive being searched.
+		host := annHost.CloneWithLake(b.Lake).(*Starmie)
+		if err := host.LoadANN(bytes.NewReader(data)); err == nil {
+			host.TopK(b.Queries[0], 3)
 		}
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"dust/internal/ann"
 	"dust/internal/codec"
 	"dust/internal/embed"
 	"dust/internal/lake"
@@ -21,6 +22,9 @@ const (
 	StarmieFormatVersion uint16 = 1
 	D3LFormatVersion     uint16 = 1
 	TuplesFormatVersion  uint16 = 1
+	// ANNFormatVersion is the HNSW candidate-graph payload version
+	// (codec.KindANN): encoder identity, node-to-table mapping, graph.
+	ANNFormatVersion uint16 = 1
 )
 
 // Save writes the Starmie index — encoder identity, corpus document
@@ -81,12 +85,14 @@ func LoadStarmie(r io.Reader, l *lake.Lake, opts ...Option) (*Starmie, error) {
 	}
 	o := applyOptions(opts)
 	s := &Starmie{
-		enc:     embed.NewStarmie(),
-		lake:    l,
-		corpus:  &tokenize.Corpus{},
-		cols:    make(map[string][]vector.Vec, l.Len()),
-		big:     make(map[string]bool),
-		workers: o.workers,
+		enc:        embed.NewStarmie(),
+		lake:       l,
+		corpus:     &tokenize.Corpus{},
+		cols:       make(map[string][]vector.Vec, l.Len()),
+		big:        make(map[string]bool),
+		workers:    o.workers,
+		Oversample: DefaultOversample,
+		EfSearch:   DefaultEfSearch,
 	}
 
 	sc := codec.NewScanner(payload)
@@ -154,7 +160,85 @@ func LoadStarmie(r io.Reader, l *lake.Lake, opts ...Option) (*Starmie, error) {
 		}
 		s.cols[t.name] = t.cols
 	}
+	if o.mode != Exact {
+		_ = s.SetMode(o.mode)
+	}
 	return s, nil
+}
+
+// SaveANN writes the Starmie searcher's HNSW candidate graph — encoder
+// identity, the node-to-table mapping, and the graph itself — as one
+// versioned, checksummed envelope, so a warm start skips the O(n log n)
+// graph build the way it skips re-embedding. The graph exists after
+// SetMode(ANN); saving a graphless searcher is an error.
+func (s *Starmie) SaveANN(w io.Writer) error {
+	if s.graph == nil {
+		return fmt.Errorf("starmie: save ann: no candidate graph (SetMode(ANN) first)")
+	}
+	var b codec.Buffer
+	b.String(s.enc.Name())
+	b.String(s.enc.Model.Fingerprint())
+	b.Int(s.enc.Dim())
+	b.Strings(s.annTables)
+	s.graph.Encode(&b)
+	return codec.WriteEnvelope(w, codec.KindANN, ANNFormatVersion, b.Bytes())
+}
+
+// LoadANN installs a candidate graph written by SaveANN into this
+// searcher, validating encoder identity and that the graph's live nodes
+// cover the indexed column embeddings exactly (one live node per indexed
+// column, per table). It does not switch retrieval modes — call
+// SetMode(ANN), which reuses the installed graph instead of rebuilding.
+func (s *Starmie) LoadANN(r io.Reader) error {
+	_, payload, err := codec.ReadEnvelope(r, codec.KindANN, ANNFormatVersion)
+	if err != nil {
+		return fmt.Errorf("starmie: load ann: %w", err)
+	}
+	sc := codec.NewScanner(payload)
+	encName := sc.String()
+	modelPrint := sc.String()
+	dim := sc.Int()
+	if sc.Err() == nil && (encName != s.enc.Name() || modelPrint != s.enc.Model.Fingerprint() || dim != s.enc.Dim()) {
+		return fmt.Errorf("starmie: load ann: graph built with %s/%s/d%d, searcher uses %s/%s/d%d: %w",
+			encName, modelPrint, dim, s.enc.Name(), s.enc.Model.Fingerprint(), s.enc.Dim(), ErrEncoderMismatch)
+	}
+	names := sc.Strings()
+	graph, err := ann.Decode(sc)
+	if err != nil {
+		return fmt.Errorf("starmie: load ann: %w", err)
+	}
+	if err := sc.Finish(); err != nil {
+		return fmt.Errorf("starmie: load ann: %w", err)
+	}
+	if graph.Dim() != s.enc.Dim() {
+		return fmt.Errorf("starmie: load ann: graph dim %d, want %d: %w", graph.Dim(), s.enc.Dim(), codec.ErrCorrupt)
+	}
+	if graph.Len() != len(names) {
+		return fmt.Errorf("starmie: load ann: %d nodes but %d names: %w", graph.Len(), len(names), codec.ErrCorrupt)
+	}
+	ids := make(map[string][]int, len(s.cols))
+	for id, name := range names {
+		if graph.Deleted(id) {
+			continue
+		}
+		ids[name] = append(ids[name], id)
+	}
+	for name := range ids {
+		if _, ok := s.cols[name]; !ok {
+			return fmt.Errorf("starmie: load ann: graph covers table %q the index does not hold: %w",
+				name, ErrLakeMismatch)
+		}
+	}
+	// One live node per indexed column; a zero-column table legitimately
+	// has no nodes at all.
+	for name, cols := range s.cols {
+		if len(ids[name]) != len(cols) {
+			return fmt.Errorf("starmie: load ann: table %q has %d live nodes, index holds %d columns: %w",
+				name, len(ids[name]), len(cols), ErrLakeMismatch)
+		}
+	}
+	s.graph, s.annTables, s.annIDs = graph, names, ids
+	return nil
 }
 
 // Save writes the D3L index: encoder and hasher identity plus every
@@ -296,6 +380,9 @@ func LoadD3L(r io.Reader, l *lake.Lake, opts ...Option) (*D3L, error) {
 				name, lt.NumCols(), len(sigs), ErrLakeMismatch)
 		}
 	}
+	if o.mode != Exact {
+		_ = d.SetMode(o.mode)
+	}
 	return d, nil
 }
 
@@ -343,7 +430,12 @@ func LoadTupleSearch(r io.Reader, tables []*table.Table, opts ...Option) (*Tuple
 		return nil, fmt.Errorf("tuplesearch: load: %w", err)
 	}
 	o := applyOptions(opts)
-	ts := &TupleSearch{enc: embed.NewRoBERTa(), workers: o.workers}
+	ts := &TupleSearch{
+		enc:        embed.NewRoBERTa(),
+		workers:    o.workers,
+		Oversample: DefaultOversample,
+		EfSearch:   DefaultEfSearch,
+	}
 
 	byName := make(map[string]*table.Table, len(tables))
 	for _, t := range tables {
@@ -393,6 +485,9 @@ func LoadTupleSearch(r io.Reader, tables []*table.Table, opts ...Option) (*Tuple
 	}
 	if err := sc.Finish(); err != nil {
 		return nil, fmt.Errorf("tuplesearch: load: %w", err)
+	}
+	if o.mode != Exact {
+		_ = ts.SetMode(o.mode)
 	}
 	return ts, nil
 }

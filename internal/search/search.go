@@ -10,8 +10,10 @@ package search
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 
+	"dust/internal/ann"
 	"dust/internal/datagen"
 	"dust/internal/lake"
 	"dust/internal/par"
@@ -28,6 +30,99 @@ type Scored struct {
 type Searcher interface {
 	Name() string
 	TopK(query *table.Table, k int) []Scored
+}
+
+// Mode selects the candidate-generation backend of a Staged searcher's
+// query plan (retrieve -> score -> diversify).
+type Mode int
+
+const (
+	// Exact scans and scores every lake table — the seed behavior, the
+	// default, and the recall oracle ANN mode is measured against.
+	Exact Mode = iota
+	// ANN generates candidates approximately — HNSW over the embedding
+	// index for Starmie and the tuple-level searcher, the LSH banding
+	// index for D3L — and re-scores only those candidates exactly, so
+	// query latency tracks the candidate pool instead of the lake size.
+	ANN
+)
+
+// String names the mode the way the CLI -ann flags and searcher Name()
+// suffixes do.
+func (m Mode) String() string {
+	switch m {
+	case Exact:
+		return "exact"
+	case ANN:
+		return "ann"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Staged retrieval defaults, shared by every ANN-capable searcher here.
+const (
+	// DefaultOversample is the candidate multiplier of the ANN stage:
+	// stage one retrieves about Oversample*k candidates per query vector
+	// before the exact re-rank, trading extra exact scoring for recall.
+	DefaultOversample = 4.0
+	// DefaultEfSearch bounds the HNSW base-layer beam width.
+	DefaultEfSearch = 120
+	// rebuildThreshold is the tombstone fraction past which a mutated
+	// HNSW graph is rebuilt from its live nodes instead of accumulating
+	// more dead weight.
+	rebuildThreshold = 0.5
+)
+
+// ErrUnknownMode reports SetMode of a Mode this package does not define.
+var ErrUnknownMode = errors.New("search: unknown retrieval mode")
+
+// Retriever is the candidate-generation stage of the staged query plan:
+// given a query it nominates lake tables worth exact scoring, unranked —
+// ranking is the scorer's job. limit is the rank depth the caller
+// intends to score (the k of its top-k); backends oversample internally
+// exactly as the owning searcher's TopK does, and set-shaped backends
+// (the exact scan, LSH buckets) ignore it and return their whole set.
+type Retriever interface {
+	Name() string
+	Retrieve(ctx context.Context, query *table.Table, limit int) ([]string, error)
+}
+
+// Staged is a Searcher whose retrieval stage is pluggable between the
+// exact full scan and an approximate candidate generator whose nominees
+// are re-scored exactly. Starmie and D3L implement it (the tuple-level
+// searcher has the same surface, typed for tuple hits).
+type Staged interface {
+	Searcher
+	// SetMode switches the retrieval backend; entering ANN builds the
+	// approximate index on first use (O(n log n) for HNSW) and is a
+	// no-op when one is already installed (e.g. loaded from disk).
+	SetMode(Mode) error
+	// RetrievalMode reports the active retrieval backend.
+	RetrievalMode() Mode
+	// Retriever exposes the active candidate-generation stage.
+	Retriever() Retriever
+}
+
+// staleGraph reports whether a mutated HNSW graph has crossed the
+// rebuild threshold — the one compaction policy both ANN-capable
+// searchers apply (the size floor keeps tiny, churn-heavy indexes from
+// rebuilding on every other mutation).
+func staleGraph(ix *ann.Index) bool {
+	return ix != nil && ix.Len() >= 8 && ix.DeletedFraction() > rebuildThreshold
+}
+
+// exactRetriever nominates every lake table: stage one of the default
+// query plan and the recall oracle approximate retrievers are measured
+// against.
+type exactRetriever struct{ l *lake.Lake }
+
+func (exactRetriever) Name() string { return "exact" }
+
+func (r exactRetriever) Retrieve(ctx context.Context, _ *table.Table, _ int) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r.l.Names(), nil
 }
 
 // Typed failures of the incremental-mutation and persistence surfaces.
@@ -110,12 +205,18 @@ type Option func(*options)
 
 type options struct {
 	workers int
+	mode    Mode
 }
 
 // WithWorkers bounds the parallelism of index construction and query
 // scoring; n <= 0 selects the GOMAXPROCS-derived default and n == 1 forces
 // the sequential path. Results are identical for every worker count.
 func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithMode selects the retrieval backend at construction time (default
+// Exact); constructing in ANN mode builds the approximate index as part
+// of indexing. Equivalent to SetMode right after construction.
+func WithMode(m Mode) Option { return func(o *options) { o.mode = m } }
 
 func applyOptions(opts []Option) options {
 	var o options
@@ -125,14 +226,14 @@ func applyOptions(opts []Option) options {
 	return o
 }
 
-// rankAllCtx scores every lake table (in parallel across workers) and
-// returns the top k, ties broken by table name for determinism. Scores are
-// written by table index, so the ranking is identical for every worker
-// count. Once ctx is cancelled the remaining tables are not scored and
+// rankTablesCtx is the scoring stage of the staged query plan: it scores
+// the given candidate tables (in parallel across workers) and returns the
+// top k, ties broken by table name for determinism. Scores are written by
+// candidate index, so the ranking is identical for every worker count.
+// Once ctx is cancelled the remaining candidates are not scored and
 // ctx.Err() is returned instead of a partial ranking; cancellation is
 // checked per table, the natural work unit of the scan.
-func rankAllCtx(ctx context.Context, l *lake.Lake, k, workers int, score func(t *table.Table) float64) ([]Scored, error) {
-	tables := l.Tables()
+func rankTablesCtx(ctx context.Context, tables []*table.Table, k, workers int, score func(t *table.Table) float64) ([]Scored, error) {
 	out := make([]Scored, len(tables))
 	if err := par.ForCtx(ctx, workers, len(tables), func(i int) {
 		out[i] = Scored{Table: tables[i], Score: score(tables[i])}

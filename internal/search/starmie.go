@@ -3,7 +3,11 @@ package search
 import (
 	"context"
 	"fmt"
+	"math"
+	"slices"
+	"sort"
 
+	"dust/internal/ann"
 	"dust/internal/embed"
 	"dust/internal/lake"
 	"dust/internal/match"
@@ -32,6 +36,24 @@ type Starmie struct {
 	// MinSim drops column matches below this similarity (Starmie's
 	// verification threshold).
 	MinSim float64
+
+	// Staged retrieval state (mode ANN): an HNSW graph over every indexed
+	// column embedding. Node ids map to their owning table via annTables
+	// (tombstoned nodes keep stale entries until a rebuild); annIDs holds
+	// the live node ids of each indexed table. The graph exists only after
+	// SetMode(ANN) (or LoadANN) and is kept in sync by AddTable /
+	// RemoveTable / refreshBig from then on; exact-mode searchers carry no
+	// graph and pay nothing.
+	mode      Mode
+	graph     *ann.Index
+	annTables []string
+	annIDs    map[string][]int
+	// Oversample and EfSearch shape the ANN candidate stage: stage one
+	// retrieves ceil(Oversample*k) nearest column embeddings per query
+	// column (beam width EfSearch) and nominates their owner tables for
+	// exact re-ranking. Raise Oversample to trade latency for recall.
+	Oversample float64
+	EfSearch   int
 }
 
 // NewStarmie indexes the lake with the default Starmie encoder.
@@ -46,13 +68,15 @@ func NewStarmie(l *lake.Lake, opts ...Option) *Starmie {
 func NewStarmieWithEncoder(l *lake.Lake, enc embed.StarmieEncoder, opts ...Option) *Starmie {
 	o := applyOptions(opts)
 	s := &Starmie{
-		enc:     enc,
-		lake:    l,
-		corpus:  &tokenize.Corpus{},
-		cols:    make(map[string][]vector.Vec, l.Len()),
-		big:     make(map[string]bool),
-		workers: o.workers,
-		MinSim:  0.3,
+		enc:        enc,
+		lake:       l,
+		corpus:     &tokenize.Corpus{},
+		cols:       make(map[string][]vector.Vec, l.Len()),
+		big:        make(map[string]bool),
+		workers:    o.workers,
+		MinSim:     0.3,
+		Oversample: DefaultOversample,
+		EfSearch:   DefaultEfSearch,
 	}
 	tables := l.Tables()
 	for _, t := range tables {
@@ -70,11 +94,152 @@ func NewStarmieWithEncoder(l *lake.Lake, enc embed.StarmieEncoder, opts ...Optio
 	for i, t := range tables {
 		s.cols[t.Name] = embedded[i]
 	}
+	if o.mode != Exact {
+		// Errors are impossible for the modes WithMode can express; a
+		// bogus numeric Mode falls back to the exact scan.
+		_ = s.SetMode(o.mode)
+	}
 	return s
 }
 
-// Name implements Searcher.
-func (s *Starmie) Name() string { return "starmie" }
+// Name implements Searcher; the ANN suffix keeps config tags (and the
+// serving caches keyed by them) distinct between the two query plans.
+func (s *Starmie) Name() string {
+	if s.mode == ANN {
+		return "starmie+ann"
+	}
+	return "starmie"
+}
+
+// SetMode implements Staged: ANN switches the retrieval stage to HNSW
+// candidates exactly re-ranked, building the graph over the indexed
+// column embeddings if none is installed yet; Exact restores the full
+// scan. An installed graph survives mode flips (and keeps absorbing
+// mutations) so toggling is cheap.
+func (s *Starmie) SetMode(m Mode) error {
+	switch m {
+	case Exact:
+	case ANN:
+		if s.graph == nil {
+			s.buildGraph()
+		}
+	default:
+		return fmt.Errorf("starmie: SetMode(%d): %w", int(m), ErrUnknownMode)
+	}
+	s.mode = m
+	return nil
+}
+
+// RetrievalMode implements Staged.
+func (s *Starmie) RetrievalMode() Mode { return s.mode }
+
+// Retriever implements Staged.
+func (s *Starmie) Retriever() Retriever {
+	if s.mode == ANN {
+		return starmieRetriever{s}
+	}
+	return exactRetriever{s.lake}
+}
+
+// HasANN reports whether an HNSW graph is installed (persistence asks
+// before writing the graph file).
+func (s *Starmie) HasANN() bool { return s.graph != nil }
+
+// buildGraph indexes every column embedding into a fresh HNSW graph, in
+// lake iteration order so the graph is identical across processes.
+func (s *Starmie) buildGraph() {
+	s.graph = ann.New(s.enc.Dim(), ann.Config{})
+	s.annTables = nil
+	s.annIDs = make(map[string][]int, s.lake.Len())
+	for _, t := range s.lake.Tables() {
+		s.annAdd(t.Name)
+	}
+}
+
+// annAdd indexes table name's current column embeddings.
+func (s *Starmie) annAdd(name string) {
+	for _, v := range s.cols[name] {
+		id := s.graph.Add(vector.ToVec32(v))
+		s.annTables = append(s.annTables, name)
+		s.annIDs[name] = append(s.annIDs[name], id)
+	}
+}
+
+// annRemove tombstones table name's nodes.
+func (s *Starmie) annRemove(name string) {
+	for _, id := range s.annIDs[name] {
+		if err := s.graph.Remove(id); err != nil {
+			// Ids come from annIDs bookkeeping and are always live.
+			panic(err)
+		}
+	}
+	delete(s.annIDs, name)
+}
+
+// annReplace swaps a table's nodes for its (re-embedded) current columns:
+// the corpus-sensitive refresh path changes stored vectors, and graph
+// nodes are immutable once inserted.
+func (s *Starmie) annReplace(name string) {
+	s.annRemove(name)
+	s.annAdd(name)
+}
+
+// maybeRebuild compacts the graph once tombstones dominate (the shared
+// staleGraph policy), rebooking the node-to-table mapping as Compact
+// reports the surviving ids.
+func (s *Starmie) maybeRebuild() {
+	if !staleGraph(s.graph) {
+		return
+	}
+	oldTables := s.annTables
+	s.annTables = nil
+	s.annIDs = make(map[string][]int, len(s.annIDs))
+	s.graph = s.graph.Compact(func(oldID, newID int) {
+		name := oldTables[oldID]
+		s.annTables = append(s.annTables, name)
+		s.annIDs[name] = append(s.annIDs[name], newID)
+	})
+}
+
+// annCandidateNames nominates the owner tables of the perColumn nearest
+// column embeddings to each query column, name-sorted for determinism.
+func (s *Starmie) annCandidateNames(qCols []vector.Vec, perColumn int) []string {
+	seen := make(map[string]bool)
+	for _, qv := range qCols {
+		for _, id := range s.graph.Search(vector.ToVec32(qv), perColumn, s.EfSearch) {
+			seen[s.annTables[id]] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// starmieRetriever adapts the HNSW candidate stage to the Retriever
+// interface for external composition; the searcher's own hot path calls
+// annCandidateNames directly with the query columns it already encoded.
+type starmieRetriever struct{ s *Starmie }
+
+func (starmieRetriever) Name() string { return "hnsw" }
+
+// Retrieve nominates candidates for a top-`limit` query with exactly the
+// searcher's own plan: Oversample*limit nearest column embeddings per
+// query column, so composing through the interface has the same recall
+// as TopK itself. limit <= 0 asks for everything, which only the exact
+// scan provides — the same fallback the searcher's own TopK applies.
+func (r starmieRetriever) Retrieve(ctx context.Context, query *table.Table, limit int) ([]string, error) {
+	if limit <= 0 {
+		return exactRetriever{r.s.lake}.Retrieve(ctx, query, limit)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	perColumn := int(math.Ceil(r.s.Oversample * float64(limit)))
+	return r.s.annCandidateNames(r.s.EncodeQuery(query), perColumn), nil
+}
 
 // AddTable implements Incremental: the new table's columns join the corpus
 // and are embedded with it; tables whose TF-IDF token selection depends on
@@ -94,6 +259,10 @@ func (s *Starmie) AddTable(t *table.Table) error {
 	}
 	s.cols[t.Name] = s.enc.EncodeTableColumns(t, s.corpus)
 	s.refreshBig(t.Name)
+	if s.graph != nil {
+		s.annAdd(t.Name)
+		s.maybeRebuild()
+	}
 	return nil
 }
 
@@ -113,7 +282,13 @@ func (s *Starmie) RemoveTable(name string) error {
 	}
 	delete(s.cols, name)
 	delete(s.big, name)
+	if s.graph != nil {
+		s.annRemove(name)
+	}
 	s.refreshBig("")
+	if s.graph != nil {
+		s.maybeRebuild()
+	}
 	return nil
 }
 
@@ -135,8 +310,22 @@ func (s *Starmie) refreshBig(skip string) {
 		return s.enc.EncodeTableColumns(stale[i], s.corpus)
 	})
 	for i, t := range stale {
+		old := s.cols[t.Name]
 		s.cols[t.Name] = embedded[i]
+		if s.graph != nil && !sameVecs(old, embedded[i]) {
+			// The stored vectors actually changed; the graph must follow.
+			// Corpus refreshes usually re-select the same TF-IDF tokens
+			// and reproduce the old embeddings bit-for-bit — skipping
+			// those keeps mutation cost O(delta) instead of tombstoning
+			// (and eventually rebuilding over) every big table each time.
+			s.annReplace(t.Name)
+		}
 	}
+}
+
+// sameVecs reports bit-identical embedding slices.
+func sameVecs(a, b []vector.Vec) bool {
+	return slices.EqualFunc(a, b, slices.Equal[vector.Vec])
 }
 
 // QueryWorkers implements QueryBounded: the returned searcher shares this
@@ -165,6 +354,18 @@ func (s *Starmie) CloneWithLake(l *lake.Lake) Searcher {
 	c.big = make(map[string]bool, len(s.big))
 	for n, v := range s.big {
 		c.big[n] = v
+	}
+	if s.graph != nil {
+		// Insertions rewire existing neighbor lists, so the clone needs its
+		// own adjacency (the vectors stay shared); the id bookkeeping is
+		// append-mutated and is deep-copied for the same reason.
+		c.graph = s.graph.Clone()
+		c.annTables = make([]string, len(s.annTables))
+		copy(c.annTables, s.annTables)
+		c.annIDs = make(map[string][]int, len(s.annIDs))
+		for n, ids := range s.annIDs {
+			c.annIDs[n] = append([]int(nil), ids...)
+		}
 	}
 	return &c
 }
@@ -200,14 +401,42 @@ func (s *Starmie) TopK(query *table.Table, k int) []Scored {
 	return out
 }
 
-// TopKContext implements ContextSearcher: the candidate scan stops scoring
-// further tables once ctx is cancelled and the call returns ctx.Err().
+// TopKContext implements ContextSearcher as the staged plan: retrieve
+// candidates (every lake table in Exact mode; the owners of the nearest
+// column embeddings in ANN mode), then score them exactly and keep the
+// top k. The candidate scan stops scoring further tables once ctx is
+// cancelled and the call returns ctx.Err().
 func (s *Starmie) TopKContext(ctx context.Context, query *table.Table, k int) ([]Scored, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	qCols := s.EncodeQuery(query)
-	return rankAllCtx(ctx, s.lake, k, s.workers, func(t *table.Table) float64 {
+	cands, err := s.candidates(ctx, qCols, k)
+	if err != nil {
+		return nil, err
+	}
+	return rankTablesCtx(ctx, cands, k, s.workers, func(t *table.Table) float64 {
 		return s.Score(qCols, t)
 	})
+}
+
+// candidates is the retrieval stage. ANN retrieval needs a positive k to
+// size its pool; k <= 0 asks for the full ranking, which only the exact
+// scan can provide.
+func (s *Starmie) candidates(ctx context.Context, qCols []vector.Vec, k int) ([]*table.Table, error) {
+	if s.mode != ANN || s.graph == nil || k <= 0 {
+		return s.lake.Tables(), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	perColumn := int(math.Ceil(s.Oversample * float64(k)))
+	names := s.annCandidateNames(qCols, perColumn)
+	tables := make([]*table.Table, 0, len(names))
+	for _, n := range names {
+		if t := s.lake.Get(n); t != nil {
+			tables = append(tables, t)
+		}
+	}
+	return tables, nil
 }

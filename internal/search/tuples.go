@@ -3,8 +3,10 @@ package search
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
+	"dust/internal/ann"
 	"dust/internal/embed"
 	"dust/internal/par"
 	"dust/internal/table"
@@ -30,6 +32,22 @@ type TupleSearch struct {
 	workers int
 	tuples  []ScoredTuple // score unused at index time
 	vecs    []vector.Vec
+
+	// Staged retrieval state (mode ANN), the tuple-level analogue of
+	// Starmie's: an HNSW graph over every tuple embedding. annTuples and
+	// annVecs are id-parallel shadows of tuples/vecs that survive the
+	// compactions RemoveTable applies to the primary slices (tombstoned
+	// ids keep stale entries until a rebuild); annIDs maps a table to its
+	// live node ids.
+	mode      Mode
+	graph     *ann.Index
+	annTuples []ScoredTuple
+	annVecs   []vector.Vec
+	annIDs    map[string][]int
+	// Oversample and EfSearch shape the candidate stage exactly as on
+	// Starmie: ceil(Oversample*k) nearest tuples per query tuple.
+	Oversample float64
+	EfSearch   int
 }
 
 // NewTupleSearch indexes every tuple of the given tables. Embedding runs
@@ -37,7 +55,12 @@ type TupleSearch struct {
 // full worker budget applies even when the lake is many small tables.
 func NewTupleSearch(tables []*table.Table, opts ...Option) *TupleSearch {
 	o := applyOptions(opts)
-	ts := &TupleSearch{enc: embed.NewRoBERTa(), workers: o.workers}
+	ts := &TupleSearch{
+		enc:        embed.NewRoBERTa(),
+		workers:    o.workers,
+		Oversample: DefaultOversample,
+		EfSearch:   DefaultEfSearch,
+	}
 	type job struct {
 		headers []string
 		row     []string
@@ -53,11 +76,77 @@ func NewTupleSearch(tables []*table.Table, opts ...Option) *TupleSearch {
 	ts.vecs = par.Map(ts.workers, len(jobs), func(i int) vector.Vec {
 		return ts.enc.EncodeTuple(jobs[i].headers, jobs[i].row)
 	})
+	if o.mode != Exact {
+		_ = ts.SetMode(o.mode)
+	}
 	return ts
 }
 
 // Name identifies the baseline in experiment output.
-func (ts *TupleSearch) Name() string { return "starmie-tuples" }
+func (ts *TupleSearch) Name() string {
+	if ts.mode == ANN {
+		return "starmie-tuples+ann"
+	}
+	return "starmie-tuples"
+}
+
+// SetMode is the tuple-level analogue of Staged.SetMode (TupleSearch is
+// not a table-level Searcher, so it cannot implement the interface):
+// ANN retrieves candidates from an HNSW graph over the tuple embeddings
+// and re-scores them exactly; Exact restores the full scan.
+func (ts *TupleSearch) SetMode(m Mode) error {
+	switch m {
+	case Exact:
+	case ANN:
+		if ts.graph == nil {
+			ts.buildGraph()
+		}
+	default:
+		return fmt.Errorf("tuplesearch: SetMode(%d): %w", int(m), ErrUnknownMode)
+	}
+	ts.mode = m
+	return nil
+}
+
+// RetrievalMode reports the active retrieval backend.
+func (ts *TupleSearch) RetrievalMode() Mode { return ts.mode }
+
+// buildGraph indexes every tuple embedding, in index order.
+func (ts *TupleSearch) buildGraph() {
+	ts.graph = ann.New(ts.enc.Dim(), ann.Config{})
+	ts.annTuples = nil
+	ts.annVecs = nil
+	ts.annIDs = make(map[string][]int)
+	for i := range ts.tuples {
+		ts.annAddOne(ts.tuples[i], ts.vecs[i])
+	}
+}
+
+func (ts *TupleSearch) annAddOne(tu ScoredTuple, v vector.Vec) {
+	id := ts.graph.Add(vector.ToVec32(v))
+	ts.annTuples = append(ts.annTuples, tu)
+	ts.annVecs = append(ts.annVecs, v)
+	ts.annIDs[tu.Table.Name] = append(ts.annIDs[tu.Table.Name], id)
+}
+
+// maybeRebuild compacts the graph once tombstones dominate (the shared
+// staleGraph policy), rebooking the id-parallel tuple shadows as Compact
+// reports the surviving ids.
+func (ts *TupleSearch) maybeRebuild() {
+	if !staleGraph(ts.graph) {
+		return
+	}
+	oldTuples, oldVecs := ts.annTuples, ts.annVecs
+	ts.annTuples = nil
+	ts.annVecs = nil
+	ts.annIDs = make(map[string][]int, len(ts.annIDs))
+	ts.graph = ts.graph.Compact(func(oldID, newID int) {
+		tu := oldTuples[oldID]
+		ts.annTuples = append(ts.annTuples, tu)
+		ts.annVecs = append(ts.annVecs, oldVecs[oldID])
+		ts.annIDs[tu.Table.Name] = append(ts.annIDs[tu.Table.Name], newID)
+	})
+}
 
 // Len returns the number of indexed tuples.
 func (ts *TupleSearch) Len() int { return len(ts.tuples) }
@@ -78,7 +167,14 @@ func (ts *TupleSearch) AddTable(t *table.Table) error {
 		rows[r] = t.Row(r)
 		ts.tuples = append(ts.tuples, ScoredTuple{Table: t, Row: r})
 	}
-	ts.vecs = append(ts.vecs, ts.enc.EncodeTupleBatch(headers, rows, ts.workers)...)
+	vecs := ts.enc.EncodeTupleBatch(headers, rows, ts.workers)
+	ts.vecs = append(ts.vecs, vecs...)
+	if ts.graph != nil {
+		for r := range rows {
+			ts.annAddOne(ScoredTuple{Table: t, Row: r}, vecs[r])
+		}
+		ts.maybeRebuild()
+	}
 	return nil
 }
 
@@ -101,6 +197,16 @@ func (ts *TupleSearch) RemoveTable(name string) error {
 		return fmt.Errorf("tuplesearch: RemoveTable(%q): %w", name, ErrUnknownTable)
 	}
 	ts.tuples, ts.vecs = keptT, keptV
+	if ts.graph != nil {
+		for _, id := range ts.annIDs[name] {
+			if err := ts.graph.Remove(id); err != nil {
+				// Ids come from annIDs bookkeeping and are always live.
+				panic(err)
+			}
+		}
+		delete(ts.annIDs, name)
+		ts.maybeRebuild()
+	}
 	return nil
 }
 
@@ -115,7 +221,9 @@ func (ts *TupleSearch) TopK(query *table.Table, k int) []ScoredTuple {
 
 // TopKContext is TopK with a cancellation path (the tuple-level analogue of
 // ContextSearcher, typed for tuple hits): once ctx is cancelled the
-// remaining tuples are not scored and ctx.Err() is returned.
+// remaining tuples are not scored and ctx.Err() is returned. In ANN mode
+// the scan covers only the HNSW candidate pool instead of every tuple;
+// k <= 0 asks for the full ranking, which only the exact scan provides.
 func (ts *TupleSearch) TopKContext(ctx context.Context, query *table.Table, k int) ([]ScoredTuple, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -126,6 +234,9 @@ func (ts *TupleSearch) TopKContext(ctx context.Context, query *table.Table, k in
 		rows[r] = query.Row(r)
 	}
 	qVecs := ts.enc.EncodeTupleBatch(headers, rows, ts.workers)
+	if ts.mode == ANN && ts.graph != nil && k > 0 {
+		return ts.topKANN(ctx, qVecs, k)
+	}
 	out := make([]ScoredTuple, len(ts.tuples))
 	copy(out, ts.tuples)
 	if err := par.ForCtx(ctx, ts.workers, len(out), func(i int) {
@@ -141,6 +252,46 @@ func (ts *TupleSearch) TopKContext(ctx context.Context, query *table.Table, k in
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
 	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// topKANN is the staged plan: retrieve ceil(Oversample*k) nearest tuples
+// per query tuple from the graph, then score the deduplicated pool
+// exactly. Candidates are ordered by node id — their insertion order,
+// the same relative order the exact scan's stable sort ties on — so the
+// ranking is deterministic and agrees with exact mode wherever the pool
+// covers the true top k.
+func (ts *TupleSearch) topKANN(ctx context.Context, qVecs []vector.Vec, k int) ([]ScoredTuple, error) {
+	perTuple := int(math.Ceil(ts.Oversample * float64(k)))
+	seen := make(map[int]bool)
+	for _, qv := range qVecs {
+		for _, id := range ts.graph.Search(vector.ToVec32(qv), perTuple, ts.EfSearch) {
+			seen[id] = true
+		}
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]ScoredTuple, len(ids))
+	if err := par.ForCtx(ctx, ts.workers, len(ids), func(i int) {
+		id := ids[i]
+		best := 0.0
+		for _, qv := range qVecs {
+			if sim := vector.Cosine(qv, ts.annVecs[id]); sim > best {
+				best = sim
+			}
+		}
+		out[i] = ts.annTuples[id]
+		out[i].Score = best
+	}); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	if len(out) > k {
 		out = out[:k]
 	}
 	return out, nil

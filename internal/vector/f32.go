@@ -1,0 +1,43 @@
+package vector
+
+import (
+	"fmt"
+)
+
+// Vec32 is a dense float32 vector — the storage type of the approximate
+// candidate index (internal/ann), which trades float64 precision for half
+// the memory traffic on the graph traversal hot path. The same conventions
+// apply as for Vec: nil is a zero-length vector, dimension mismatches
+// panic.
+type Vec32 = []float32
+
+// SquaredEuclidean32 returns the squared L2 distance between a and b — the
+// per-hop kernel of the HNSW candidate graph: one fused pass, no sqrt. For
+// unit vectors it is 2(1-cosine), so nearest under it is highest-cosine.
+func SquaredEuclidean32(a, b Vec32) float32 {
+	checkLen32(a, b)
+	var s float32
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// ToVec32 converts a float64 vector to float32 storage (a copy; the input
+// is not retained). Values are truncated to float32 precision — callers
+// index normalized embeddings, where the ~1e-7 relative error is far below
+// any score margin the exact re-rank stage cares about.
+func ToVec32(v Vec) Vec32 {
+	out := make(Vec32, len(v))
+	for i := range v {
+		out[i] = float32(v[i])
+	}
+	return out
+}
+
+func checkLen32(a, b Vec32) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vector: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+}

@@ -1,0 +1,64 @@
+package vector
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFloat32Kernels(t *testing.T) {
+	a := Vec32{1, 2, 3, 4}
+	b := Vec32{4, 3, 2, 1}
+	if got := SquaredEuclidean32(a, b); got != 9+1+1+9 {
+		t.Errorf("SquaredEuclidean32 = %v, want 20", got)
+	}
+	if got := SquaredEuclidean32(a, a); got != 0 {
+		t.Errorf("SquaredEuclidean32(a,a) = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch did not panic")
+		}
+	}()
+	SquaredEuclidean32(a, Vec32{1})
+}
+
+func TestVec32Conversions(t *testing.T) {
+	v := Vec{0.25, -1.5, 3}
+	v32 := ToVec32(v)
+	for i := range v {
+		if float64(v32[i]) != v[i] {
+			t.Errorf("exactly-representable %v converted to %v at %d", v[i], v32[i], i)
+		}
+	}
+	v32[0] = 99
+	if v[0] != 0.25 {
+		t.Error("ToVec32 aliases its input")
+	}
+	if len(ToVec32(nil)) != 0 {
+		t.Error("nil conversion not empty")
+	}
+}
+
+func TestSquaredEuclideanMatchesEuclidean(t *testing.T) {
+	a := Vec{0.3, -0.4, 0.86}
+	b := Vec{-0.1, 0.2, 0.5}
+	if got, want := Euclidean(a, b), math.Sqrt(SquaredEuclidean(a, b)); got != want {
+		t.Errorf("Euclidean = %v, sqrt(SquaredEuclidean) = %v", got, want)
+	}
+	// For unit vectors, squared L2 must equal 2(1-cosine): the monotone
+	// equivalence the HNSW candidate stage relies on.
+	na, nb := Normalize(a), Normalize(b)
+	if got, want := SquaredEuclidean(na, nb), 2*(1-Cosine(na, nb)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("unit-vector identity: %v vs %v", got, want)
+	}
+}
+
+func TestCosineFusedKernel(t *testing.T) {
+	a := Vec{1, 2, 3}
+	b := Vec{-1, 0, 2}
+	dot, na, nb := dotAndNorms(a, b)
+	if dot != Dot(a, b) || na != Dot(a, a) || nb != Dot(b, b) {
+		t.Errorf("dotAndNorms = (%v,%v,%v), want (%v,%v,%v)",
+			dot, na, nb, Dot(a, b), Dot(a, a), Dot(b, b))
+	}
+}

@@ -32,16 +32,23 @@ func Norm(v Vec) float64 {
 	return math.Sqrt(Dot(v, v))
 }
 
-// Cosine returns the cosine similarity of a and b in [-1, 1].
-// If either vector has zero norm the similarity is defined as 0.
-func Cosine(a, b Vec) float64 {
+// dotAndNorms is the fused kernel behind Cosine: one pass over a and b
+// computing a·b, a·a, and b·b, so the hot similarity path never walks
+// the vectors three times through Dot and Norm.
+func dotAndNorms(a, b Vec) (dot, na, nb float64) {
 	checkLen(a, b)
-	var dot, na, nb float64
 	for i := range a {
 		dot += a[i] * b[i]
 		na += a[i] * a[i]
 		nb += b[i] * b[i]
 	}
+	return dot, na, nb
+}
+
+// Cosine returns the cosine similarity of a and b in [-1, 1].
+// If either vector has zero norm the similarity is defined as 0.
+func Cosine(a, b Vec) float64 {
+	dot, na, nb := dotAndNorms(a, b)
 	if na == 0 || nb == 0 {
 		return 0
 	}
@@ -54,15 +61,24 @@ func CosineDistance(a, b Vec) float64 {
 	return 1 - Cosine(a, b)
 }
 
-// Euclidean returns the L2 distance between a and b.
-func Euclidean(a, b Vec) float64 {
+// SquaredEuclidean returns the squared L2 distance between a and b: the
+// monotone companion of Euclidean that skips the sqrt, so per-hop distance
+// comparisons (the HNSW candidate graph) pay one fused pass and nothing
+// else. For unit vectors it is 2(1-cosine), so nearest-by-SquaredEuclidean
+// is highest-by-cosine.
+func SquaredEuclidean(a, b Vec) float64 {
 	checkLen(a, b)
 	var s float64
 	for i := range a {
 		d := a[i] - b[i]
 		s += d * d
 	}
-	return math.Sqrt(s)
+	return s
+}
+
+// Euclidean returns the L2 distance between a and b.
+func Euclidean(a, b Vec) float64 {
+	return math.Sqrt(SquaredEuclidean(a, b))
 }
 
 // Manhattan returns the L1 distance between a and b.

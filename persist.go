@@ -15,15 +15,18 @@ import (
 )
 
 // ManifestFormatVersion is the index-directory manifest payload version.
-// Version 2 appended the pipeline's mutation epoch; version-1 manifests
-// still load (their epoch reads as 0).
-const ManifestFormatVersion uint16 = 2
+// Version 2 appended the pipeline's mutation epoch; version 3 appended the
+// staged-retrieval state (whether the searcher runs in ANN mode and
+// whether an HNSW graph file sits alongside the searcher index). Older
+// manifests still load: their epoch reads as 0 and their mode as exact.
+const ManifestFormatVersion uint16 = 3
 
 // Index-directory layout. The manifest is written last so a directory with
 // a partial save (crash mid-write) is treated as having no index at all.
 const (
 	manifestFile = "manifest.dustidx"
 	searcherFile = "searcher.dustidx"
+	annFile      = "ann.dustidx"
 	modelFile    = "tuple.model"
 )
 
@@ -171,16 +174,32 @@ func (p *Pipeline) SaveIndex(dir string) error {
 		return fmt.Errorf("dust: save index: %w", err)
 	}
 
+	// Staged retrieval state: the HNSW graph (Starmie only — D3L's
+	// approximate backend is its LSH index, already rebuilt from the
+	// searcher file) persists beside the searcher index so an ANN warm
+	// start skips the graph build too.
+	annMode := false
+	if st, ok := p.searcher.(search.Staged); ok {
+		annMode = st.RetrievalMode() == search.ANN
+	}
+	hasANN := false
+	if s, ok := p.searcher.(*search.Starmie); ok && s.HasANN() {
+		hasANN = true
+		if err := writeFile(filepath.Join(dir, annFile), s.SaveANN); err != nil {
+			return fmt.Errorf("dust: save ann graph: %w", err)
+		}
+	} else if err := os.Remove(filepath.Join(dir, annFile)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("dust: save index: %w", err)
+	}
+
 	var b codec.Buffer
 	b.String(kind)
 	b.String(p.lake.Name)
-	names := p.lake.Names()
-	b.Int(len(names))
-	for _, n := range names {
-		b.String(n)
-	}
+	b.Strings(p.lake.Names())
 	b.Bool(hasModel)
 	b.Uvarint(p.epoch)
+	b.Bool(annMode)
+	b.Bool(hasANN)
 	if err := writeFile(filepath.Join(dir, manifestFile), func(f io.Writer) error {
 		return codec.WriteEnvelope(f, codec.KindManifest, ManifestFormatVersion, b.Bytes())
 	}); err != nil {
@@ -226,15 +245,16 @@ func LoadPipelineLake(l *lake.Lake, indexDir string, opts ...Option) (*Pipeline,
 	sc := codec.NewScanner(payload)
 	kind := sc.String()
 	_ = sc.String() // saved lake name; informational only
-	n := sc.Int()
-	names := make([]string, 0, n)
-	for i := 0; i < n && sc.Err() == nil; i++ {
-		names = append(names, sc.String())
-	}
+	names := sc.Strings()
 	hasModel := sc.Bool()
 	var epoch uint64
 	if version >= 2 {
 		epoch = sc.Uvarint()
+	}
+	annMode, hasANN := false, false
+	if version >= 3 {
+		annMode = sc.Bool()
+		hasANN = sc.Bool()
 	}
 	if err := sc.Finish(); err != nil {
 		return nil, fmt.Errorf("dust: load manifest: %w", err)
@@ -266,8 +286,30 @@ func LoadPipelineLake(l *lake.Lake, indexDir string, opts ...Option) (*Pipeline,
 	if err != nil {
 		return nil, err
 	}
+	if hasANN {
+		s, ok := searcher.(*search.Starmie)
+		if !ok {
+			return nil, fmt.Errorf("dust: manifest records an ann graph for searcher kind %q: %w",
+				kind, codec.ErrCorrupt)
+		}
+		af, err := os.Open(filepath.Join(indexDir, annFile))
+		if err != nil {
+			return nil, fmt.Errorf("dust: load ann graph: %w", err)
+		}
+		err = s.LoadANN(af)
+		af.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	loaded := []Option{WithSearcher(searcher)}
+	if annMode {
+		// Restore the saved retrieval mode; SetMode reuses the graph just
+		// installed (or, for D3L / a graphless save, rebuilds cheaply).
+		// Explicit caller options apply afterwards and win as usual.
+		loaded = append(loaded, WithRetriever(search.ANN))
+	}
 	if hasModel {
 		f, err := os.Open(filepath.Join(indexDir, modelFile))
 		if err != nil {
