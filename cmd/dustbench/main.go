@@ -12,8 +12,13 @@
 //	dustbench -ann -searcher tuples    # the tuple-level searcher instead of Starmie
 //	dustbench -ann -quick              # 1k tables
 //
+//	dustbench -shards 8                # monolithic vs scatter-gather on a 10k-table lake
+//	dustbench -shards 8 -quick         # 1k tables
+//
 // The -ann run prints per-query exact/ANN latency with a recall@k column
-// and records the aggregate in BENCH_ann.json.
+// and records the aggregate in BENCH_ann.json; the -shards run prints
+// per-query monolithic/sharded latency with an exact-parity column plus
+// scatter-gather throughput and records the aggregate in BENCH_shard.json.
 package main
 
 import (
@@ -34,8 +39,10 @@ func main() {
 		workers  = flag.Int("workers", 0, "cap parallelism via GOMAXPROCS (0 = all cores); every parallel kernel derives its default from it")
 		ann      = flag.Bool("ann", false, "benchmark staged retrieval (exact vs HNSW + recall@k) instead of the paper experiments")
 		searcher = flag.String("searcher", "starmie", "searcher for -ann: starmie or tuples")
-		annK     = flag.Int("k", 10, "top-k for the -ann benchmark's recall column")
+		annK     = flag.Int("k", 10, "top-k for the -ann and -shards benchmarks")
 		annOut   = flag.String("ann-out", "BENCH_ann.json", "where -ann writes its JSON report")
+		shards   = flag.Int("shards", 0, "benchmark the sharded scatter-gather index with N shards (monolithic vs sharded TopK + throughput) instead of the paper experiments")
+		shardOut = flag.String("shard-out", "BENCH_shard.json", "where -shards writes its JSON report")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -44,6 +51,13 @@ func main() {
 
 	if *ann {
 		if err := runANNBench(*searcher, *quick, *annK, *annOut); err != nil {
+			fmt.Fprintln(os.Stderr, "dustbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shards > 0 {
+		if err := runShardBench(*shards, *quick, *annK, *shardOut); err != nil {
 			fmt.Fprintln(os.Stderr, "dustbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dust/internal/datagen"
+	"dust/internal/par"
+	"dust/internal/search"
+	"dust/internal/shard"
+)
+
+// shardReport is the JSON record of one scatter-gather benchmark run; the
+// repo's perf trajectory tracks it in BENCH_shard.json (schema documented
+// in docs/BENCHMARKS.md).
+type shardReport struct {
+	Benchmark     string  `json:"benchmark"`
+	Searcher      string  `json:"searcher"`
+	Tables        int     `json:"tables"`
+	Shards        int     `json:"shards"`
+	Queries       int     `json:"queries"`
+	K             int     `json:"k"`
+	Oversample    float64 `json:"oversample"`
+	IndexMS       float64 `json:"unsharded_index_ms"`
+	ShardIndexMS  float64 `json:"sharded_index_ms"`
+	UnshardedMS   float64 `json:"unsharded_ms_per_query"`
+	ShardedMS     float64 `json:"sharded_ms_per_query"`
+	ShardedANNMS  float64 `json:"sharded_ann_ms_per_query"`
+	ThroughputQPS float64 `json:"sharded_topk_qps"`
+	ExactParity   bool    `json:"exact_parity"`
+}
+
+// runShardBench benchmarks the sharded scatter-gather index against the
+// monolithic one: per-query exact TopK latency for both layouts over a
+// generated lake, a bit-identity parity check (the equivalence the test
+// suite gates), per-query latency for the sharded layout in ANN mode, and
+// concurrent scatter-gather TopK throughput. The full-scale lake holds 10k
+// tables; -quick drops to 1k so the run finishes in seconds.
+func runShardBench(shards int, quick bool, k int, out string) error {
+	cfg := datagen.Config{
+		Seed: 997, Domains: 10, TablesPerBase: 1000, QueriesPerBase: 1,
+		BaseRows: 30, MinRows: 4, MaxRows: 8,
+	}
+	if quick {
+		cfg.TablesPerBase = 100
+	}
+	bench := datagen.Generate("shard-bench", cfg)
+	rep := shardReport{
+		Benchmark:  "scatter-gather",
+		Searcher:   "starmie",
+		Tables:     bench.Lake.Len(),
+		Shards:     shards,
+		Queries:    len(bench.Queries),
+		K:          k,
+		Oversample: search.DefaultOversample,
+	}
+	fmt.Printf("scatter-gather benchmark: starmie over %d tables, %d shards, k=%d\n\n",
+		rep.Tables, shards, k)
+
+	start := time.Now()
+	mono := search.NewStarmie(bench.Lake)
+	rep.IndexMS = ms(time.Since(start))
+	start = time.Now()
+	sharded := shard.NewStarmie(bench.Lake, shards, shard.Config{})
+	rep.ShardIndexMS = ms(time.Since(start))
+
+	names := func(hits []search.Scored) []string { return scoredKeys(hits) }
+	var monoTotal, shardTotal, annTotal time.Duration
+	rep.ExactParity = true
+	fmt.Printf("%-14s %12s %12s %8s\n", "query", "mono ms", "sharded ms", "parity")
+	for _, q := range bench.Queries {
+		t0 := time.Now()
+		want := names(mono.TopK(q, k))
+		monoDur := time.Since(t0)
+		monoTotal += monoDur
+
+		t0 = time.Now()
+		got := names(sharded.TopK(q, k))
+		shardDur := time.Since(t0)
+		shardTotal += shardDur
+
+		parity := len(got) == len(want)
+		for j := 0; parity && j < len(want); j++ {
+			if got[j] != want[j] {
+				parity = false
+			}
+		}
+		if !parity {
+			rep.ExactParity = false
+		}
+		fmt.Printf("%-14s %12.2f %12.2f %8v\n", q.Name, ms(monoDur), ms(shardDur), parity)
+	}
+
+	if err := sharded.SetMode(search.ANN); err != nil {
+		return err
+	}
+	for _, q := range bench.Queries {
+		t0 := time.Now()
+		sharded.TopK(q, k)
+		annTotal += time.Since(t0)
+	}
+
+	// Scatter-gather throughput: every query in flight concurrently over a
+	// bounded pool, the shape a serving layer drives the index in.
+	rounds := 20
+	if quick {
+		rounds = 50
+	}
+	t0 := time.Now()
+	pool := par.NewPool(runtime.NumCPU())
+	for r := 0; r < rounds; r++ {
+		for _, q := range bench.Queries {
+			q := q
+			pool.Submit(func() { sharded.TopK(q, k) })
+		}
+	}
+	pool.Close()
+	elapsed := time.Since(t0)
+	rep.ThroughputQPS = float64(rounds*len(bench.Queries)) / elapsed.Seconds()
+
+	n := len(bench.Queries)
+	rep.UnshardedMS = ms(monoTotal) / float64(n)
+	rep.ShardedMS = ms(shardTotal) / float64(n)
+	rep.ShardedANNMS = ms(annTotal) / float64(n)
+	fmt.Printf("%-14s %12.2f %12.2f %14.2f\n", "mean", rep.UnshardedMS, rep.ShardedMS, rep.ShardedANNMS)
+	fmt.Printf("\nindex build: monolithic %.0f ms, sharded %.0f ms\n", rep.IndexMS, rep.ShardIndexMS)
+	fmt.Printf("scatter-gather TopK throughput (ann, %d in flight): %.1f queries/s\n",
+		runtime.NumCPU(), rep.ThroughputQPS)
+	if !rep.ExactParity {
+		fmt.Println("WARNING: sharded exact results diverged from the monolithic index")
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

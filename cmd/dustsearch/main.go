@@ -39,6 +39,7 @@ func main() {
 		indexDir  = flag.String("index-dir", "", "saved-index directory: warm-start from it when present, create it otherwise")
 		saveIndex = flag.Bool("save-index", false, "rebuild the index and save it to -index-dir even if one exists")
 		ann       = flag.Bool("ann", false, "approximate candidate retrieval (HNSW) with exact re-ranking; trades a little recall for lake-size-independent latency. -ann=false forces exact retrieval even for an index saved in ANN mode; omit the flag to follow the saved index")
+		shards    = flag.Int("shards", 1, "partition the index into N scatter-gather shards (1 = monolithic); exact-mode results are identical either way. Applies to cold builds only: a warm start keeps the layout saved in -index-dir")
 	)
 	flag.Parse()
 	if *queryPath == "" || *lakeDir == "" {
@@ -58,7 +59,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := []dust.Option{dust.WithTopTables(*topTables), dust.WithWorkers(*workers)}
+	opts := []dust.Option{dust.WithTopTables(*topTables), dust.WithWorkers(*workers), dust.WithShards(*shards)}
 	// Tri-state retrieval: an explicit -ann / -ann=false overrides the
 	// mode recorded in a warm-started index; omitting the flag follows it.
 	flag.Visit(func(f *flag.Flag) {
@@ -91,7 +92,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("warm start: loaded index from %s\n", *indexDir)
+		fmt.Printf("warm start: loaded index from %s (%d shard(s))\n", *indexDir, p.Shards())
 	default:
 		p = dust.New(l, opts...)
 		if *indexDir != "" {

@@ -48,6 +48,7 @@ func main() {
 		cacheCap  = flag.Int("cache", 1024, "query-result cache capacity (0 disables)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request budget (0 disables)")
 		ann       = flag.Bool("ann", false, "approximate candidate retrieval (HNSW) with exact re-ranking; the graph persists in -index-dir and follows live table mutations. -ann=false forces exact retrieval even for an index saved in ANN mode; omit the flag to follow the saved index")
+		shards    = flag.Int("shards", 1, "partition the index into N scatter-gather shards (1 = monolithic); table mutations route to the owning shard and exact-mode results are identical either way. Applies to cold builds only: a warm start keeps the layout saved in -index-dir")
 	)
 	flag.Parse()
 	if *lakeDir == "" {
@@ -59,7 +60,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := []dust.Option{dust.WithTopTables(*topTables), dust.WithWorkers(*workers)}
+	opts := []dust.Option{dust.WithTopTables(*topTables), dust.WithWorkers(*workers), dust.WithShards(*shards)}
 	// Tri-state retrieval: an explicit -ann / -ann=false overrides the
 	// mode recorded in a warm-started index; omitting the flag follows it.
 	flag.Visit(func(f *flag.Flag) {
@@ -93,11 +94,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("warm start: loaded index from %s in %v (epoch %d)\n",
-			*indexDir, time.Since(boot).Round(time.Millisecond), p.Epoch())
+		fmt.Printf("warm start: loaded index from %s in %v (epoch %d, %d shard(s))\n",
+			*indexDir, time.Since(boot).Round(time.Millisecond), p.Epoch(), p.Shards())
 	default:
 		p = dust.New(l, opts...)
-		fmt.Printf("cold start: indexed %s in %v\n", l.Stats(), time.Since(boot).Round(time.Millisecond))
+		fmt.Printf("cold start: indexed %s in %v (%d shard(s))\n",
+			l.Stats(), time.Since(boot).Round(time.Millisecond), p.Shards())
 		if *indexDir != "" {
 			if err := p.SaveIndex(*indexDir); err != nil {
 				fatal(err)

@@ -29,6 +29,7 @@ import (
 	"dust/internal/model"
 	"dust/internal/par"
 	"dust/internal/search"
+	"dust/internal/shard"
 	"dust/internal/table"
 	"dust/internal/vector"
 )
@@ -46,6 +47,7 @@ type Pipeline struct {
 	workers     int
 	workersSet  bool
 	retrieval   search.Mode
+	shards      int
 	// epoch counts index mutations (AddTable/RemoveTable) over the
 	// pipeline's lifetime; see Epoch in persist.go. Serving layers key
 	// result caches by it.
@@ -90,6 +92,19 @@ func WithTopTables(n int) Option { return func(p *Pipeline) { p.topTables = n } 
 // not define makes New panic.
 func WithRetriever(m search.Mode) Option { return func(p *Pipeline) { p.retrieval = m } }
 
+// WithShards partitions the lake into n hash-assigned shards, each with
+// its own searcher index (and its own HNSW graph under search.ANN);
+// queries scatter across the shards in parallel and the merged candidates
+// are re-ranked under the global score order, so exact-mode results stay
+// bit-identical to the unsharded pipeline while the index becomes
+// horizontally partitioned — shards build, persist, and mutate
+// independently, the substrate for spreading a lake beyond one process.
+// n <= 1 keeps the single monolithic index (the default). The option
+// shapes the default searcher only: it is ignored when WithSearcher
+// supplies one, and a pipeline warm-started from an index directory keeps
+// the shard layout recorded in its manifest.
+func WithShards(n int) Option { return func(p *Pipeline) { p.shards = n } }
+
 // WithWorkers bounds the parallelism of each pipeline stage — lake
 // indexing, query scoring, tuple embedding, and the diversifier's distance
 // kernels — and the number of queries SearchBatch serves concurrently.
@@ -115,8 +130,13 @@ func New(l *lake.Lake, opts ...Option) *Pipeline {
 		o(p)
 	}
 	if p.searcher == nil {
-		// Built after the options so the default index honours WithWorkers.
-		p.searcher = search.NewStarmie(l, search.WithWorkers(p.workers))
+		// Built after the options so the default index honours WithWorkers
+		// and WithShards.
+		if p.shards > 1 {
+			p.searcher = shard.NewStarmie(l, p.shards, shard.Config{Workers: p.workers})
+		} else {
+			p.searcher = search.NewStarmie(l, search.WithWorkers(p.workers))
+		}
 	} else if p.workersSet {
 		// An explicit WithWorkers also re-bounds a supplied searcher's
 		// query-time scoring; without it the searcher keeps its own bound.

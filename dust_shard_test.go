@@ -1,0 +1,425 @@
+package dust
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dust/internal/datagen"
+	"dust/internal/lake"
+	"dust/internal/search"
+	"dust/internal/shard"
+	"dust/internal/table"
+)
+
+// TestPipelineShardedMatchesUnsharded is the pipeline-level face of the
+// sharding equivalence gate: end-to-end Search results (diverse tuples,
+// provenance, retrieved tables) through a WithShards pipeline must be
+// bit-identical to the unsharded pipeline, for 2 and 4 shards at workers 1
+// and 8 — and WithShards(1) must mean "no sharding at all".
+func TestPipelineShardedMatchesUnsharded(t *testing.T) {
+	b, q := benchLake(t)
+	want, err := New(b.Lake, WithTopTables(5)).Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := New(b.Lake, WithShards(1)); p.Shards() != 1 {
+		t.Errorf("WithShards(1) built %d shards, want a monolithic index", p.Shards())
+	}
+	for _, shards := range []int{2, 4} {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				p := New(b.Lake, WithTopTables(5), WithShards(shards), WithWorkers(workers))
+				if got := p.Shards(); got != shards {
+					t.Fatalf("Shards() = %d, want %d", got, shards)
+				}
+				got, err := p.Search(q, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResult(t, "sharded vs unsharded", got, want)
+			})
+		}
+	}
+}
+
+// TestPipelineShardedSaveLoadWarmStart saves a sharded index — exact and
+// ANN — and warm-starts it: the loaded pipeline must keep the shard
+// layout, the retrieval mode, and the exact results of the cold one.
+func TestPipelineShardedSaveLoadWarmStart(t *testing.T) {
+	b, q := benchLake(t)
+	lakeDir := filepath.Join(t.TempDir(), "lake")
+	if err := b.Lake.Save(lakeDir); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"exact", "ann"} {
+		t.Run(mode, func(t *testing.T) {
+			opts := []Option{WithTopTables(5), WithShards(3)}
+			if mode == "ann" {
+				opts = append(opts, WithRetriever(search.ANN))
+			}
+			cold := New(b.Lake, opts...)
+			want, err := cold.Search(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idxDir := filepath.Join(t.TempDir(), "index")
+			if err := cold.SaveIndex(idxDir); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				if _, err := os.Stat(filepath.Join(idxDir, fmt.Sprintf("shard-%03d.dustidx", i))); err != nil {
+					t.Fatalf("shard file %d not written: %v", i, err)
+				}
+				annPath := filepath.Join(idxDir, fmt.Sprintf("shard-%03d.ann.dustidx", i))
+				if _, err := os.Stat(annPath); (err == nil) != (mode == "ann") {
+					t.Fatalf("shard %d ann file presence wrong for %s mode (stat err = %v)", i, mode, err)
+				}
+			}
+			if _, err := os.Stat(filepath.Join(idxDir, "searcher.dustidx")); !os.IsNotExist(err) {
+				t.Error("sharded save left a monolithic searcher file behind")
+			}
+
+			warm, err := LoadPipeline(lakeDir, idxDir, WithTopTables(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := warm.Shards(); got != 3 {
+				t.Fatalf("warm Shards() = %d, want 3", got)
+			}
+			got, err := warm.Search(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "warm vs cold sharded "+mode, got, want)
+		})
+	}
+}
+
+// TestPipelineShardedOverwriteChangesLayout re-saves a different layout
+// into the same directory and checks no stale component files survive in
+// either direction.
+func TestPipelineShardedOverwriteChangesLayout(t *testing.T) {
+	b, q := benchLake(t)
+	lakeDir := filepath.Join(t.TempDir(), "lake")
+	if err := b.Lake.Save(lakeDir); err != nil {
+		t.Fatal(err)
+	}
+	idxDir := filepath.Join(t.TempDir(), "index")
+	if err := New(b.Lake, WithShards(4)).SaveIndex(idxDir); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink to 2 shards: shard-002/003 must disappear.
+	if err := New(b.Lake, WithShards(2)).SaveIndex(idxDir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(idxDir, "shard-002.dustidx")); !os.IsNotExist(err) {
+		t.Error("stale shard file survived a smaller re-save")
+	}
+	warm, err := LoadPipeline(lakeDir, idxDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.Shards(); got != 2 {
+		t.Fatalf("Shards() = %d after re-save, want 2", got)
+	}
+	// Back to monolithic: every shard file must disappear.
+	if err := New(b.Lake).SaveIndex(idxDir); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := filepath.Glob(filepath.Join(idxDir, "shard-*.dustidx")); len(m) != 0 {
+		t.Errorf("monolithic re-save left shard files behind: %v", m)
+	}
+	warm, err = LoadPipeline(lakeDir, idxDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.Shards(); got != 1 {
+		t.Fatalf("Shards() = %d after monolithic re-save, want 1", got)
+	}
+	want, err := New(b.Lake).Search(q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := warm.Search(q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "after layout churn", got, want)
+}
+
+// TestPipelineShardedMutationsAndClone drives the serving-facing pipeline
+// surface over shards: AddTable/RemoveTable route to the owning shard and
+// keep results bit-identical to a from-scratch unsharded pipeline, the
+// epoch advances, and Clone isolates mutations (the snapshot-swap
+// contract).
+func TestPipelineShardedMutationsAndClone(t *testing.T) {
+	b, q := benchLake(t)
+	p := New(b.Lake, WithTopTables(5), WithShards(2))
+
+	grown := table.New("late_arrival", q.Headers()...)
+	for i := 0; i < q.NumRows(); i++ {
+		grown.MustAppendRow(q.Row(i)...)
+	}
+	e0 := p.Epoch()
+	if err := p.AddTable(grown); err != nil {
+		t.Fatal(err)
+	}
+	if p.Epoch() != e0+1 {
+		t.Errorf("epoch = %d after AddTable, want %d", p.Epoch(), e0+1)
+	}
+	fresh := New(b.Lake, WithTopTables(5))
+	want, err := fresh.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "sharded after AddTable vs fresh unsharded", got, want)
+
+	cl, err := p.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RemoveTable("late_arrival"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Lake().Get("late_arrival") == nil {
+		t.Error("clone removal reached the original lake")
+	}
+	after, err := p.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "original after clone mutation", after, want)
+
+	if err := p.RemoveTable("late_arrival"); err != nil {
+		t.Fatal(err)
+	}
+	fresh = New(b.Lake, WithTopTables(5))
+	want, err = fresh.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = p.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "sharded after RemoveTable vs fresh unsharded", got, want)
+}
+
+// TestShardedIndexErrorPaths drives every failure mode of the sharded
+// on-disk layout through LoadPipeline and requires typed errors — never a
+// panic, never a silently wrong index.
+func TestShardedIndexErrorPaths(t *testing.T) {
+	b, _ := benchLake(t)
+	lakeDir := filepath.Join(t.TempDir(), "lake")
+	if err := b.Lake.Save(lakeDir); err != nil {
+		t.Fatal(err)
+	}
+	save := func(t *testing.T) string {
+		t.Helper()
+		idxDir := filepath.Join(t.TempDir(), "index")
+		if err := New(b.Lake, WithShards(2)).SaveIndex(idxDir); err != nil {
+			t.Fatal(err)
+		}
+		return idxDir
+	}
+
+	t.Run("truncated-manifest", func(t *testing.T) {
+		idxDir := save(t)
+		mf := filepath.Join(idxDir, "manifest.dustidx")
+		raw, err := os.ReadFile(mf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(mf, raw[:len(raw)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadPipeline(lakeDir, idxDir); err == nil {
+			t.Error("truncated shard manifest loaded without error")
+		}
+	})
+
+	t.Run("corrupt-manifest", func(t *testing.T) {
+		idxDir := save(t)
+		mf := filepath.Join(idxDir, "manifest.dustidx")
+		raw, err := os.ReadFile(mf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0x41
+		if err := os.WriteFile(mf, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadPipeline(lakeDir, idxDir); err == nil {
+			t.Error("corrupted shard manifest loaded without error")
+		}
+	})
+
+	t.Run("shard-count-mismatch", func(t *testing.T) {
+		idxDir := save(t)
+		if err := os.Remove(filepath.Join(idxDir, "shard-001.dustidx")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadPipeline(lakeDir, idxDir); !errors.Is(err, ErrShardLayout) {
+			t.Errorf("missing shard file: err = %v, want ErrShardLayout", err)
+		}
+	})
+
+	t.Run("corrupt-shard-file", func(t *testing.T) {
+		idxDir := save(t)
+		sf := filepath.Join(idxDir, "shard-000.dustidx")
+		raw, err := os.ReadFile(sf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0x41
+		if err := os.WriteFile(sf, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadPipeline(lakeDir, idxDir); err == nil {
+			t.Error("corrupted shard file loaded without error")
+		}
+	})
+
+	t.Run("cross-index-shard-reuse", func(t *testing.T) {
+		// A shard file from a DIFFERENT index (another lake's partition)
+		// dropped into this one must be rejected by its self-validation:
+		// the table set cannot match the manifest's shard map.
+		idxDir := save(t)
+		other := datagen.Generate("other-lake", datagen.Config{
+			Seed: 99, Domains: 3, TablesPerBase: 4, BaseRows: 30, MinRows: 8, MaxRows: 12,
+		})
+		otherDir := filepath.Join(t.TempDir(), "other-index")
+		if err := New(other.Lake, WithShards(2)).SaveIndex(otherDir); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(filepath.Join(otherDir, "shard-000.dustidx"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(idxDir, "shard-000.dustidx"), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadPipeline(lakeDir, idxDir); !errors.Is(err, search.ErrLakeMismatch) {
+			t.Errorf("cross-index shard reuse: err = %v, want ErrLakeMismatch", err)
+		}
+	})
+
+	t.Run("wrong-kind-shard-file", func(t *testing.T) {
+		// A D3L envelope in a Starmie shard slot must fail the codec's
+		// kind check, not decode as garbage.
+		idxDir := save(t)
+		d3lDir := filepath.Join(t.TempDir(), "d3l-index")
+		d3l := New(b.Lake, WithSearcher(shard.NewD3L(b.Lake, 2, shard.Config{})))
+		if err := d3l.SaveIndex(d3lDir); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(filepath.Join(d3lDir, "shard-000.dustidx"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(idxDir, "shard-000.dustidx"), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadPipeline(lakeDir, idxDir); err == nil {
+			t.Error("wrong-kind shard file loaded without error")
+		}
+	})
+
+	t.Run("shard-map-names-missing-table", func(t *testing.T) {
+		// Deleting a mapped table from the lake CSVs must be caught before
+		// any shard file is trusted.
+		idxDir := save(t)
+		staleDir := filepath.Join(t.TempDir(), "stale-lake")
+		if err := b.Lake.Save(staleDir); err != nil {
+			t.Fatal(err)
+		}
+		name := b.Lake.Names()[0]
+		if err := os.Remove(filepath.Join(staleDir, name+".csv")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadPipeline(staleDir, idxDir); !errors.Is(err, search.ErrLakeMismatch) {
+			t.Errorf("missing mapped table: err = %v, want ErrLakeMismatch", err)
+		}
+	})
+}
+
+// TestPipelineMoreShardsThanTables pins the empty-shard layout: a lake
+// smaller than its shard count must build, answer, save, and warm-start —
+// a regression test for the manifest loader rejecting shard counts above
+// the table count.
+func TestPipelineMoreShardsThanTables(t *testing.T) {
+	b, q := benchLake(t)
+	small := lake.New("tiny")
+	for _, lt := range b.Lake.Tables()[:3] {
+		small.MustAdd(lt)
+	}
+	lakeDir := filepath.Join(t.TempDir(), "lake")
+	if err := small.Save(lakeDir); err != nil {
+		t.Fatal(err)
+	}
+	cold := New(small, WithTopTables(2), WithShards(8))
+	want, err := cold.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxDir := filepath.Join(t.TempDir(), "index")
+	if err := cold.SaveIndex(idxDir); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := LoadPipeline(lakeDir, idxDir, WithTopTables(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Shards() != 8 {
+		t.Fatalf("warm Shards() = %d, want 8", warm.Shards())
+	}
+	got, err := warm.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "warm with empty shards", got, want)
+}
+
+// TestPipelineShardedD3L covers the second shardable kind end to end:
+// construction via WithSearcher, save/load, and equivalence.
+func TestPipelineShardedD3L(t *testing.T) {
+	b, q := benchLake(t)
+	lakeDir := filepath.Join(t.TempDir(), "lake")
+	if err := b.Lake.Save(lakeDir); err != nil {
+		t.Fatal(err)
+	}
+	want, err := New(b.Lake, WithTopTables(5), WithSearcher(search.NewD3L(b.Lake))).Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(b.Lake, WithTopTables(5), WithSearcher(shard.NewD3L(b.Lake, 3, shard.Config{})))
+	got, err := p.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "sharded d3l vs unsharded", got, want)
+
+	idxDir := filepath.Join(t.TempDir(), "index")
+	if err := p.SaveIndex(idxDir); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := LoadPipeline(lakeDir, idxDir, WithTopTables(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Shards() != 3 {
+		t.Fatalf("warm d3l Shards() = %d, want 3", warm.Shards())
+	}
+	got, err = warm.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "warm sharded d3l", got, want)
+}

@@ -18,6 +18,7 @@ import (
 	"dust/internal/lake"
 	"dust/internal/par"
 	"dust/internal/table"
+	"dust/internal/tokenize"
 )
 
 // Scored is a search hit: a lake table and its unionability score.
@@ -206,6 +207,7 @@ type Option func(*options)
 type options struct {
 	workers int
 	mode    Mode
+	corpus  *tokenize.Corpus
 }
 
 // WithWorkers bounds the parallelism of index construction and query
@@ -217,6 +219,18 @@ func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
 // Exact); constructing in ANN mode builds the approximate index as part
 // of indexing. Equivalent to SetMode right after construction.
 func WithMode(m Mode) Option { return func(o *options) { o.mode = m } }
+
+// WithSharedCorpus installs an externally owned TF-IDF corpus instead of
+// building one from the indexed tables. The corpus must already contain the
+// column documents of every table in the wider table universe the caller
+// coordinates — e.g. all shards of a partitioned lake — including this
+// searcher's own tables: the constructor only computes over-budget flags
+// and embeds against the given statistics. Mutations on a searcher carrying
+// a shared corpus never touch it; the owning layer updates the corpus and
+// calls RefreshBig on every searcher sharing it. Only Starmie consults the
+// corpus (its embeddings are TF-IDF-sensitive); other searchers ignore the
+// option.
+func WithSharedCorpus(c *tokenize.Corpus) Option { return func(o *options) { o.corpus = c } }
 
 func applyOptions(opts []Option) options {
 	var o options

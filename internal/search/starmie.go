@@ -31,8 +31,15 @@ type Starmie struct {
 	// the encoder budget: their embeddings depend on the corpus TF-IDF
 	// selection and must be refreshed whenever the corpus changes (see
 	// AddTable/RemoveTable). Every other table embeds corpus-independently.
-	big     map[string]bool
-	workers int
+	big map[string]bool
+	// sharedCorpus marks a corpus installed via WithSharedCorpus (or
+	// AdoptSharedCorpus): its document statistics cover a wider table
+	// universe than this searcher's lake and are owned by a coordinating
+	// layer (internal/shard), so AddTable/RemoveTable must not add or
+	// remove documents — the owner mutates the corpus and fans RefreshBig
+	// across every searcher sharing it.
+	sharedCorpus bool
+	workers      int
 	// MinSim drops column matches below this similarity (Starmie's
 	// verification threshold).
 	MinSim float64
@@ -78,11 +85,16 @@ func NewStarmieWithEncoder(l *lake.Lake, enc embed.StarmieEncoder, opts ...Optio
 		Oversample: DefaultOversample,
 		EfSearch:   DefaultEfSearch,
 	}
+	if o.corpus != nil {
+		s.corpus, s.sharedCorpus = o.corpus, true
+	}
 	tables := l.Tables()
 	for _, t := range tables {
 		for i := range t.Columns {
 			tokens := embed.ColumnTokens(&t.Columns[i])
-			s.corpus.AddDocument(tokens)
+			if !s.sharedCorpus {
+				s.corpus.AddDocument(tokens)
+			}
 			if len(tokens) > embed.TokenBudget {
 				s.big[t.Name] = true
 			}
@@ -252,7 +264,9 @@ func (s *Starmie) AddTable(t *table.Table) error {
 	}
 	for i := range t.Columns {
 		tokens := embed.ColumnTokens(&t.Columns[i])
-		s.corpus.AddDocument(tokens)
+		if !s.sharedCorpus {
+			s.corpus.AddDocument(tokens)
+		}
 		if len(tokens) > embed.TokenBudget {
 			s.big[t.Name] = true
 		}
@@ -277,8 +291,10 @@ func (s *Starmie) RemoveTable(name string) error {
 	if t == nil {
 		return fmt.Errorf("starmie: RemoveTable(%q): table already left the lake: %w", name, ErrUnknownTable)
 	}
-	for i := range t.Columns {
-		s.corpus.RemoveDocument(embed.ColumnTokens(&t.Columns[i]))
+	if !s.sharedCorpus {
+		for i := range t.Columns {
+			s.corpus.RemoveDocument(embed.ColumnTokens(&t.Columns[i]))
+		}
 	}
 	delete(s.cols, name)
 	delete(s.big, name)
@@ -337,16 +353,49 @@ func (s *Starmie) QueryWorkers(n int) Searcher {
 	return &c
 }
 
+// RefreshBig re-embeds every corpus-sensitive (over-budget) table against
+// the corpus's current statistics and keeps the ANN graph, when one is
+// installed, in step. It is the cross-searcher half of a shared-corpus
+// mutation: after the owning layer changes the shared corpus on behalf of
+// one searcher, every other searcher sharing it must refresh, exactly as
+// AddTable/RemoveTable refresh a private corpus. A searcher with no big
+// tables returns immediately.
+func (s *Starmie) RefreshBig() {
+	s.refreshBig("")
+	if s.graph != nil {
+		s.maybeRebuild()
+	}
+}
+
+// Corpus exposes the TF-IDF corpus the index was embedded against. The
+// sharding layer uses it to recover the one shared corpus instance after a
+// per-shard warm start; treat it as read-only unless you own the searcher's
+// mutation surface.
+func (s *Starmie) Corpus() *tokenize.Corpus { return s.corpus }
+
+// AdoptSharedCorpus rebinds the searcher to an externally owned corpus and
+// marks it shared (see WithSharedCorpus). The given corpus's statistics
+// must reproduce the ones the stored embeddings were built with
+// bit-for-bit — the caller typically hands every shard the corpus restored
+// by one shard's load, or a fresh clone after CloneWithLake.
+func (s *Starmie) AdoptSharedCorpus(c *tokenize.Corpus) {
+	s.corpus, s.sharedCorpus = c, true
+}
+
 // CloneWithLake implements Cloner: the returned searcher is bound to l (a
 // clone of this searcher's lake holding the same table set) and owns its
 // own corpus and column-embedding maps, so AddTable/RemoveTable on it never
 // disturb this searcher. The embedding vectors themselves are shared — both
 // mutation paths replace whole slices (AddTable installs a fresh slice,
-// refreshBig assigns par.Map's fresh output), never write into one.
+// refreshBig assigns par.Map's fresh output), never write into one. A
+// shared corpus is not cloned: it belongs to the coordinating layer, which
+// clones it once and rebinds every shard clone via AdoptSharedCorpus.
 func (s *Starmie) CloneWithLake(l *lake.Lake) Searcher {
 	c := *s
 	c.lake = l
-	c.corpus = s.corpus.Clone()
+	if !s.sharedCorpus {
+		c.corpus = s.corpus.Clone()
+	}
 	c.cols = make(map[string][]vector.Vec, len(s.cols))
 	for n, v := range s.cols {
 		c.cols[n] = v

@@ -1,0 +1,561 @@
+// Package shard partitions a data lake into N independent sub-indexes and
+// serves queries by scatter-gather: a deterministic hash assigns every
+// table to one shard, each shard owns its own searcher (and, in ANN mode,
+// its own HNSW graph) over its own sub-lake, queries fan out across the
+// shards in parallel, each shard answers with its local top candidates
+// scored exactly, and the gather stage re-ranks the union under the global
+// score order. Because every shard scores with the exact scorer — against
+// one corpus shared by all shards, for the TF-IDF-sensitive Starmie index
+// — the merged exact-mode ranking is bit-identical to an unsharded scan,
+// while the index itself becomes horizontally partitioned: shards build,
+// persist, mutate, and clone independently, which is the substrate for
+// spreading a lake across processes or machines.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+
+	"dust/internal/embed"
+	"dust/internal/lake"
+	"dust/internal/par"
+	"dust/internal/search"
+	"dust/internal/table"
+	"dust/internal/tokenize"
+)
+
+// Searcher kinds a shard set can be built from; the value is what index
+// manifests record.
+const (
+	KindStarmie = "starmie"
+	KindD3L     = "d3l"
+)
+
+// Typed failures of the sharding layer.
+var (
+	// ErrUnknownKind reports a shard-set construction for a searcher kind
+	// this package does not shard.
+	ErrUnknownKind = errors.New("shard: unknown searcher kind")
+	// ErrLayoutMismatch reports Assemble parts that do not partition the
+	// full lake exactly (a table missing, duplicated, or unknown).
+	ErrLayoutMismatch = errors.New("shard: parts do not partition the lake")
+)
+
+// Assign returns the owning shard of a table name under n shards: FNV-1a of
+// the name modulo n. The assignment depends only on (name, n), so every
+// process sharding the same lake the same way routes a table identically —
+// no coordination state to persist beyond the shard count.
+func Assign(name string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Partition splits l into n sub-lakes by Assign, preserving l's iteration
+// order within each shard. Sub-lakes share l's table objects (which nothing
+// mutates after insertion), so partitioning costs O(tables), not O(cells).
+func Partition(l *lake.Lake, n int) []*lake.Lake {
+	if n < 1 {
+		n = 1
+	}
+	subs := make([]*lake.Lake, n)
+	for i := range subs {
+		subs[i] = lake.New(fmt.Sprintf("%s#%d", l.Name, i))
+	}
+	for _, t := range l.Tables() {
+		subs[Assign(t.Name, n)].MustAdd(t)
+	}
+	return subs
+}
+
+// Config shapes shard-set construction.
+type Config struct {
+	// Workers bounds both the per-shard indexing/scoring parallelism and
+	// the width of the query scatter; <= 0 derives the bound from
+	// GOMAXPROCS and 1 forces the sequential path. Results are
+	// bit-identical for every setting.
+	Workers int
+	// Mode selects the retrieval backend every shard starts in (default
+	// search.Exact). Equivalent to SetMode right after construction.
+	Mode search.Mode
+}
+
+// Searcher is a sharded table-union searcher: search.Searcher backed by N
+// independent per-shard indexes. It implements the full searcher surface
+// the pipeline composes against — ContextSearcher, Staged, Incremental,
+// QueryBounded, Cloner — by scattering to the shards and merging, so a
+// dust.Pipeline (and everything above it: persistence, serving, snapshot
+// swaps) treats a shard set exactly like a monolithic index.
+type Searcher struct {
+	kind     string
+	full     *lake.Lake
+	sublakes []*lake.Lake
+	subs     []search.Searcher
+	// corpus is the one TF-IDF corpus shared by every Starmie shard. It
+	// covers the FULL lake, so per-shard embeddings — and therefore
+	// per-shard exact scores — are bit-identical to an unsharded index's;
+	// without it, each shard's document frequencies would drift from the
+	// global statistics and the merged ranking would diverge from the
+	// unsharded one whenever a column exceeds the encoder token budget.
+	// nil for corpus-insensitive kinds (D3L).
+	corpus  *tokenize.Corpus
+	workers int
+	mode    search.Mode
+	// Oversample sizes the per-shard gather: each shard returns its local
+	// top ceil(Oversample*k) for a top-k query before the merge re-rank.
+	// Exact mode needs only k per shard for a correct merge; the slack
+	// exists for ANN mode, where a wider local pool buys recall at the
+	// cost of more exact re-scoring.
+	Oversample float64
+}
+
+// NewStarmie builds a Starmie shard set over l with n shards: one global
+// corpus pass over the full lake (identical document statistics to an
+// unsharded build), then one Starmie index per sub-lake embedded against
+// that shared corpus.
+func NewStarmie(l *lake.Lake, n int, cfg Config) *Searcher {
+	corpus := &tokenize.Corpus{}
+	for _, t := range l.Tables() {
+		for i := range t.Columns {
+			corpus.AddDocument(embed.ColumnTokens(&t.Columns[i]))
+		}
+	}
+	s := newSearcher(KindStarmie, l, n, cfg)
+	s.corpus = corpus
+	for i, sl := range s.sublakes {
+		s.subs[i] = search.NewStarmie(sl,
+			search.WithWorkers(cfg.Workers), search.WithSharedCorpus(corpus))
+	}
+	s.finish(cfg)
+	return s
+}
+
+// NewD3L builds a D3L shard set over l with n shards. D3L's five signals
+// are all per-column (no cross-table statistics), so shards need no shared
+// state and per-shard scores equal the unsharded ones by construction.
+func NewD3L(l *lake.Lake, n int, cfg Config) *Searcher {
+	s := newSearcher(KindD3L, l, n, cfg)
+	for i, sl := range s.sublakes {
+		s.subs[i] = search.NewD3L(sl, search.WithWorkers(cfg.Workers))
+	}
+	s.finish(cfg)
+	return s
+}
+
+// newSearcher allocates the shard frame: partitioned sub-lakes and empty
+// searcher slots for the kind-specific constructors to fill.
+func newSearcher(kind string, l *lake.Lake, n int, cfg Config) *Searcher {
+	if n < 1 {
+		n = 1
+	}
+	return &Searcher{
+		kind:       kind,
+		full:       l,
+		sublakes:   Partition(l, n),
+		subs:       make([]search.Searcher, n),
+		workers:    cfg.Workers,
+		Oversample: search.DefaultOversample,
+	}
+}
+
+// finish applies the construction-time retrieval mode once every shard
+// index exists.
+func (s *Searcher) finish(cfg Config) {
+	if cfg.Mode != search.Exact {
+		// The modes Config can express never fail SetMode; a bogus numeric
+		// Mode falls back to the exact scan, mirroring search.WithMode.
+		_ = s.SetMode(cfg.Mode)
+	}
+}
+
+// Part pairs one shard's sub-lake with its loaded searcher; Assemble
+// reconstitutes a shard set from them on the warm-start path.
+type Part struct {
+	Lake     *lake.Lake
+	Searcher search.Searcher
+}
+
+// Assemble reconstitutes a sharded searcher from independently loaded
+// parts — the warm-start dual of NewStarmie/NewD3L. The parts must
+// partition full exactly (every lake table in exactly one part) and each
+// part's searcher must match kind; violations return ErrLayoutMismatch or
+// ErrUnknownKind. For Starmie, every shard is rebound to part 0's restored
+// corpus so the set again shares one global TF-IDF state (each saved shard
+// recorded the identical full-lake corpus, so any part's restore works).
+func Assemble(full *lake.Lake, kind string, parts []Part, cfg Config) (*Searcher, error) {
+	if kind != KindStarmie && kind != KindD3L {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, kind)
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("%w: no parts", ErrLayoutMismatch)
+	}
+	s := &Searcher{
+		kind:       kind,
+		full:       full,
+		sublakes:   make([]*lake.Lake, len(parts)),
+		subs:       make([]search.Searcher, len(parts)),
+		workers:    cfg.Workers,
+		Oversample: search.DefaultOversample,
+	}
+	seen := 0
+	for i, p := range parts {
+		for _, name := range p.Lake.Names() {
+			t := full.Get(name)
+			if t == nil || t != p.Lake.Get(name) {
+				return nil, fmt.Errorf("%w: shard %d holds %q, the lake does not", ErrLayoutMismatch, i, name)
+			}
+			seen++
+		}
+		switch kind {
+		case KindStarmie:
+			if _, ok := p.Searcher.(*search.Starmie); !ok {
+				return nil, fmt.Errorf("%w: shard %d is %T, want %s", ErrLayoutMismatch, i, p.Searcher, kind)
+			}
+		case KindD3L:
+			if _, ok := p.Searcher.(*search.D3L); !ok {
+				return nil, fmt.Errorf("%w: shard %d is %T, want %s", ErrLayoutMismatch, i, p.Searcher, kind)
+			}
+		}
+		s.sublakes[i], s.subs[i] = p.Lake, p.Searcher
+	}
+	// Every part table exists in the lake and sub-lakes cannot hold
+	// duplicates internally, so seen == full.Len() iff the parts cover the
+	// lake exactly once (a cross-part duplicate would overshoot only if
+	// another table were missing — both are layout corruption).
+	if seen != full.Len() {
+		return nil, fmt.Errorf("%w: parts hold %d tables, lake holds %d", ErrLayoutMismatch, seen, full.Len())
+	}
+	dup := make(map[string]bool, full.Len())
+	for _, sl := range s.sublakes {
+		for _, name := range sl.Names() {
+			if dup[name] {
+				return nil, fmt.Errorf("%w: table %q in two shards", ErrLayoutMismatch, name)
+			}
+			dup[name] = true
+		}
+	}
+	if kind == KindStarmie {
+		s.corpus = s.subs[0].(*search.Starmie).Corpus()
+		for _, sub := range s.subs {
+			sub.(*search.Starmie).AdoptSharedCorpus(s.corpus)
+		}
+	}
+	s.mode = s.shardMode()
+	return s, nil
+}
+
+// shardMode reads the retrieval mode the shards are actually in (uniform
+// by construction; Assemble trusts shard 0).
+func (s *Searcher) shardMode() search.Mode {
+	if st, ok := s.subs[0].(search.Staged); ok {
+		return st.RetrievalMode()
+	}
+	return search.Exact
+}
+
+// NumShards returns the shard count.
+func (s *Searcher) NumShards() int { return len(s.subs) }
+
+// Kind names the per-shard searcher family (KindStarmie or KindD3L), the
+// value index manifests record.
+func (s *Searcher) Kind() string { return s.kind }
+
+// Shard exposes shard i's searcher; the persistence layer saves each shard
+// through it.
+func (s *Searcher) Shard(i int) search.Searcher { return s.subs[i] }
+
+// ShardTables returns every shard's table names in sub-lake iteration
+// order — the shard map an index manifest records and a warm start rebuilds
+// the partition from.
+func (s *Searcher) ShardTables() [][]string {
+	out := make([][]string, len(s.sublakes))
+	for i, sl := range s.sublakes {
+		out[i] = sl.Names()
+	}
+	return out
+}
+
+// SaveShard writes shard i's index through its kind's codec.
+func (s *Searcher) SaveShard(i int, w io.Writer) error {
+	switch sub := s.subs[i].(type) {
+	case *search.Starmie:
+		return sub.Save(w)
+	case *search.D3L:
+		return sub.Save(w)
+	}
+	return fmt.Errorf("%w: shard %d is %T", ErrUnknownKind, i, s.subs[i])
+}
+
+// Name implements search.Searcher. The shard count and the sub-searcher
+// name (which carries the +ann suffix in ANN mode) both shape rankings, so
+// both belong in the name — config tags, and the serving caches keyed by
+// them, stay distinct across layouts and modes.
+func (s *Searcher) Name() string {
+	return fmt.Sprintf("sharded%d(%s)", len(s.subs), s.subs[0].Name())
+}
+
+// TopK implements search.Searcher.
+func (s *Searcher) TopK(query *table.Table, k int) []search.Scored {
+	out, _ := s.TopKContext(context.Background(), query, k)
+	return out
+}
+
+// TopKContext implements search.ContextSearcher as scatter-gather: the
+// query fans out across every shard over a bounded par pool, each shard
+// answers with its local top ceil(Oversample*k) exactly-scored hits
+// (k <= 0 asks each shard for its full ranking), and the gather re-ranks
+// the union under the global (score desc, name asc) order — the same total
+// order the unsharded scorer applies, which with the shared corpus makes
+// the exact-mode merge bit-identical to an unsharded scan. Cancelling ctx
+// abandons the remaining shards and returns ctx.Err().
+func (s *Searcher) TopKContext(ctx context.Context, query *table.Table, k int) ([]search.Scored, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	limit := k
+	if k > 0 {
+		limit = int(math.Ceil(s.Oversample * float64(k)))
+	}
+	hits := make([][]search.Scored, len(s.subs))
+	errs := make([]error, len(s.subs))
+	pool := par.NewPool(s.workers)
+	defer pool.Close()
+	for i := range s.subs {
+		i := i
+		pool.Submit(func() {
+			hits[i], errs[i] = search.TopKCtx(ctx, s.subs[i], query, limit)
+		})
+	}
+	pool.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return mergeHits(hits, k), nil
+}
+
+// mergeHits is the gather stage: the union of the shards' local rankings,
+// re-ranked by (score desc, name asc) and truncated to k. Table names are
+// unique lake-wide, so the order is total and the merge deterministic for
+// every worker count and shard count.
+func mergeHits(hits [][]search.Scored, k int) []search.Scored {
+	var all []search.Scored
+	for _, h := range hits {
+		all = append(all, h...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].Table.Name < all[j].Table.Name
+	})
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// SetMode implements search.Staged by fanning the mode to every shard:
+// entering ANN builds one HNSW graph per Starmie shard (or is a no-op for
+// shards that already carry one, e.g. after a warm start).
+func (s *Searcher) SetMode(m search.Mode) error {
+	if m != search.Exact && m != search.ANN {
+		return fmt.Errorf("shard: SetMode(%d): %w", int(m), search.ErrUnknownMode)
+	}
+	for _, sub := range s.subs {
+		if st, ok := sub.(search.Staged); ok {
+			if err := st.SetMode(m); err != nil {
+				return err
+			}
+		}
+	}
+	s.mode = m
+	return nil
+}
+
+// RetrievalMode implements search.Staged.
+func (s *Searcher) RetrievalMode() search.Mode { return s.mode }
+
+// Retriever implements search.Staged: the candidate stage is the union of
+// every shard's own retrieval stage.
+func (s *Searcher) Retriever() search.Retriever { return scatterRetriever{s} }
+
+// scatterRetriever adapts the per-shard candidate stages to the Retriever
+// interface: candidates are the union of each shard's nominees,
+// name-sorted for determinism.
+type scatterRetriever struct{ s *Searcher }
+
+func (r scatterRetriever) Name() string {
+	if st, ok := r.s.subs[0].(search.Staged); ok {
+		return "scatter(" + st.Retriever().Name() + ")"
+	}
+	return "scatter"
+}
+
+func (r scatterRetriever) Retrieve(ctx context.Context, query *table.Table, limit int) ([]string, error) {
+	seen := make(map[string]bool)
+	for _, sub := range r.s.subs {
+		st, ok := sub.(search.Staged)
+		if !ok {
+			return nil, fmt.Errorf("%w: %T is not staged", ErrUnknownKind, sub)
+		}
+		names, err := st.Retriever().Retrieve(ctx, query, limit)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			seen[n] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// owner returns the index of the shard holding name, or -1. Removals route
+// by membership rather than re-deriving Assign so a layout loaded from a
+// manifest keeps working even if the assignment policy evolves.
+func (s *Searcher) owner(name string) int {
+	for i, sl := range s.sublakes {
+		if sl.Get(name) != nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// AddTable implements search.Incremental: the table routes to its
+// hash-assigned shard, whose index absorbs it as a delta update. For
+// Starmie the shared corpus gains the table's column documents first —
+// exactly when an unsharded AddTable would — and every OTHER shard then
+// refreshes its corpus-sensitive embeddings, so all shards keep scoring
+// against the same global statistics a from-scratch unsharded index over
+// the grown lake would hold.
+func (s *Searcher) AddTable(t *table.Table) error {
+	if s.owner(t.Name) >= 0 {
+		return fmt.Errorf("shard: AddTable(%q): %w", t.Name, search.ErrDuplicateTable)
+	}
+	o := Assign(t.Name, len(s.subs))
+	inc, ok := s.subs[o].(search.Incremental)
+	if !ok {
+		return fmt.Errorf("%w: shard %d is %T", ErrUnknownKind, o, s.subs[o])
+	}
+	if err := s.sublakes[o].Add(t); err != nil {
+		return err
+	}
+	if s.corpus != nil {
+		for i := range t.Columns {
+			s.corpus.AddDocument(embed.ColumnTokens(&t.Columns[i]))
+		}
+	}
+	if err := inc.AddTable(t); err != nil {
+		// Roll the shared state back so a refused table leaves no trace.
+		if s.corpus != nil {
+			for i := range t.Columns {
+				s.corpus.RemoveDocument(embed.ColumnTokens(&t.Columns[i]))
+			}
+		}
+		_ = s.sublakes[o].Remove(t.Name)
+		return err
+	}
+	s.refreshOthers(o)
+	return nil
+}
+
+// RemoveTable implements search.Incremental, routing to the owning shard
+// and (for Starmie) retiring the table's documents from the shared corpus
+// before the shard un-indexes, so the owner's own refresh already sees the
+// post-removal statistics; the remaining shards refresh afterwards.
+func (s *Searcher) RemoveTable(name string) error {
+	o := s.owner(name)
+	if o < 0 {
+		return fmt.Errorf("shard: RemoveTable(%q): %w", name, search.ErrUnknownTable)
+	}
+	inc, ok := s.subs[o].(search.Incremental)
+	if !ok {
+		return fmt.Errorf("%w: shard %d is %T", ErrUnknownKind, o, s.subs[o])
+	}
+	t := s.sublakes[o].Get(name)
+	if s.corpus != nil {
+		for i := range t.Columns {
+			s.corpus.RemoveDocument(embed.ColumnTokens(&t.Columns[i]))
+		}
+	}
+	if err := inc.RemoveTable(name); err != nil {
+		if s.corpus != nil {
+			for i := range t.Columns {
+				s.corpus.AddDocument(embed.ColumnTokens(&t.Columns[i]))
+			}
+		}
+		return err
+	}
+	_ = s.sublakes[o].Remove(name)
+	s.refreshOthers(o)
+	return nil
+}
+
+// refreshOthers re-embeds corpus-sensitive tables on every shard except
+// the one that just mutated (its own AddTable/RemoveTable already
+// refreshed). Only Starmie shards carry corpus-sensitive state.
+func (s *Searcher) refreshOthers(mutated int) {
+	if s.corpus == nil {
+		return
+	}
+	for i, sub := range s.subs {
+		if i == mutated {
+			continue
+		}
+		sub.(*search.Starmie).RefreshBig()
+	}
+}
+
+// QueryWorkers implements search.QueryBounded: the returned searcher
+// shares every shard's immutable index and bounds both the scatter width
+// and each shard's scoring to n workers.
+func (s *Searcher) QueryWorkers(n int) search.Searcher {
+	c := *s
+	c.workers = n
+	c.subs = make([]search.Searcher, len(s.subs))
+	for i, sub := range s.subs {
+		if qb, ok := sub.(search.QueryBounded); ok {
+			c.subs[i] = qb.QueryWorkers(n)
+		} else {
+			c.subs[i] = sub
+		}
+	}
+	return &c
+}
+
+// CloneWithLake implements search.Cloner for snapshot-swapped serving: l
+// must be a clone of the full lake holding the same table set. Every shard
+// clones against a clone of its own sub-lake (heavy embedding state stays
+// shared, per the sub-searchers' Clone contracts), and the Starmie shards
+// are rebound to a single clone of the shared corpus so the new shard set
+// again owns exactly one global TF-IDF state.
+func (s *Searcher) CloneWithLake(l *lake.Lake) search.Searcher {
+	c := *s
+	c.full = l
+	c.sublakes = make([]*lake.Lake, len(s.sublakes))
+	c.subs = make([]search.Searcher, len(s.subs))
+	if s.corpus != nil {
+		c.corpus = s.corpus.Clone()
+	}
+	for i, sub := range s.subs {
+		c.sublakes[i] = s.sublakes[i].Clone()
+		c.subs[i] = sub.(search.Cloner).CloneWithLake(c.sublakes[i])
+		if st, ok := c.subs[i].(*search.Starmie); ok {
+			st.AdoptSharedCorpus(c.corpus)
+		}
+	}
+	return &c
+}

@@ -11,24 +11,37 @@ import (
 	"dust/internal/lake"
 	"dust/internal/model"
 	"dust/internal/search"
+	"dust/internal/shard"
 	"dust/internal/table"
 )
 
 // ManifestFormatVersion is the index-directory manifest payload version.
 // Version 2 appended the pipeline's mutation epoch; version 3 appended the
 // staged-retrieval state (whether the searcher runs in ANN mode and
-// whether an HNSW graph file sits alongside the searcher index). Older
-// manifests still load: their epoch reads as 0 and their mode as exact.
-const ManifestFormatVersion uint16 = 3
+// whether an HNSW graph file sits alongside the searcher index); version 4
+// appended the shard map (shard count plus each shard's table list — zero
+// shards means a monolithic index). Older manifests still load: their
+// epoch reads as 0, their mode as exact, and their layout as monolithic.
+const ManifestFormatVersion uint16 = 4
 
 // Index-directory layout. The manifest is written last so a directory with
 // a partial save (crash mid-write) is treated as having no index at all.
+// A monolithic index stores its searcher as searcher.dustidx (plus
+// ann.dustidx for a saved HNSW graph); a sharded index stores one
+// shard-NNN.dustidx per shard (plus shard-NNN.ann.dustidx), with the shard
+// map recorded in the manifest.
 const (
 	manifestFile = "manifest.dustidx"
 	searcherFile = "searcher.dustidx"
 	annFile      = "ann.dustidx"
 	modelFile    = "tuple.model"
 )
+
+// shardSearcherFile names shard i's searcher index file.
+func shardSearcherFile(i int) string { return fmt.Sprintf("shard-%03d.dustidx", i) }
+
+// shardANNFile names shard i's HNSW candidate-graph file.
+func shardANNFile(i int) string { return fmt.Sprintf("shard-%03d.ann.dustidx", i) }
 
 // Typed failures of the pipeline persistence and mutation surfaces.
 var (
@@ -44,10 +57,25 @@ var (
 	// ErrNotCloneable reports Clone on a pipeline whose searcher does not
 	// implement search.Cloner (the built-in Starmie and D3L searchers do).
 	ErrNotCloneable = errors.New("dust: searcher does not support cloning")
+	// ErrShardLayout reports a sharded index directory whose shard files
+	// do not match the manifest's recorded shard map — most often a shard
+	// count mismatch (files missing after a partial copy, or a manifest
+	// from a different save).
+	ErrShardLayout = errors.New("dust: shard files do not match the saved shard map")
 )
 
 // Lake returns the data lake this pipeline searches.
 func (p *Pipeline) Lake() *lake.Lake { return p.lake }
+
+// Shards reports how many index shards back the pipeline's searcher: 1 for
+// a monolithic index (the default), n for a WithShards(n) or warm-started
+// sharded layout.
+func (p *Pipeline) Shards() int {
+	if s, ok := p.searcher.(*shard.Searcher); ok {
+		return s.NumShards()
+	}
+	return 1
+}
 
 // Epoch returns the pipeline's index mutation epoch: 0 for a freshly built
 // pipeline (or the saved epoch for one warm-started from an index
@@ -121,13 +149,21 @@ func (p *Pipeline) RemoveTable(name string) error {
 	return p.lake.Remove(name)
 }
 
-// searcherKind names the persistent form of the pipeline's searcher.
+// searcherKind names the persistent form of the pipeline's searcher (the
+// base kind for a sharded layout; the manifest's shard map, not the kind,
+// records shardedness).
 func (p *Pipeline) searcherKind() (string, error) {
-	switch p.searcher.(type) {
+	switch s := p.searcher.(type) {
 	case *search.Starmie:
 		return "starmie", nil
 	case *search.D3L:
 		return "d3l", nil
+	case *shard.Searcher:
+		switch s.Kind() {
+		case shard.KindStarmie, shard.KindD3L:
+			return s.Kind(), nil
+		}
+		return "", fmt.Errorf("dust: sharded %q: %w", s.Kind(), ErrUnsupportedSearcher)
 	default:
 		return "", fmt.Errorf("dust: %T: %w", p.searcher, ErrUnsupportedSearcher)
 	}
@@ -135,13 +171,15 @@ func (p *Pipeline) searcherKind() (string, error) {
 
 // SaveIndex persists the pipeline's index state under dir so a later
 // LoadPipeline can skip the cold rebuild: the searcher index (versioned,
-// checksummed), the fine-tuned tuple model when one is installed, and a
-// manifest recording the searcher kind and the lake's table set.
+// checksummed; one file per shard for a sharded layout), the fine-tuned
+// tuple model when one is installed, and a manifest recording the searcher
+// kind, the lake's table set, and the shard map.
 func (p *Pipeline) SaveIndex(dir string) error {
 	kind, err := p.searcherKind()
 	if err != nil {
 		return err
 	}
+	sh, sharded := p.searcher.(*shard.Searcher)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -152,7 +190,30 @@ func (p *Pipeline) SaveIndex(dir string) error {
 	if err := os.Remove(filepath.Join(dir, manifestFile)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("dust: save index: %w", err)
 	}
-	if err := writeFile(filepath.Join(dir, searcherFile), func(f io.Writer) error {
+	// Drop every shard file of an earlier save (and, for a sharded save,
+	// the monolithic files) so the directory mirrors exactly this save —
+	// a layout change must never leave orphans for a later load to trip
+	// over.
+	stale, _ := filepath.Glob(filepath.Join(dir, "shard-*.dustidx"))
+	if sharded {
+		stale = append(stale, filepath.Join(dir, searcherFile), filepath.Join(dir, annFile))
+	}
+	for _, f := range stale {
+		if err := os.Remove(f); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("dust: save index: %w", err)
+		}
+	}
+
+	if sharded {
+		for i := 0; i < sh.NumShards(); i++ {
+			i := i
+			if err := writeFile(filepath.Join(dir, shardSearcherFile(i)), func(f io.Writer) error {
+				return sh.SaveShard(i, f)
+			}); err != nil {
+				return fmt.Errorf("dust: save shard %d: %w", i, err)
+			}
+		}
+	} else if err := writeFile(filepath.Join(dir, searcherFile), func(f io.Writer) error {
 		switch s := p.searcher.(type) {
 		case *search.Starmie:
 			return s.Save(f)
@@ -174,22 +235,42 @@ func (p *Pipeline) SaveIndex(dir string) error {
 		return fmt.Errorf("dust: save index: %w", err)
 	}
 
-	// Staged retrieval state: the HNSW graph (Starmie only — D3L's
+	// Staged retrieval state: the HNSW graphs (Starmie only — D3L's
 	// approximate backend is its LSH index, already rebuilt from the
-	// searcher file) persists beside the searcher index so an ANN warm
-	// start skips the graph build too.
+	// searcher file) persist beside the searcher index so an ANN warm
+	// start skips the graph builds too. A sharded layout saves one graph
+	// per shard; hasANN means every shard carries one.
 	annMode := false
 	if st, ok := p.searcher.(search.Staged); ok {
 		annMode = st.RetrievalMode() == search.ANN
 	}
 	hasANN := false
-	if s, ok := p.searcher.(*search.Starmie); ok && s.HasANN() {
+	switch {
+	case sharded && kind == shard.KindStarmie:
 		hasANN = true
-		if err := writeFile(filepath.Join(dir, annFile), s.SaveANN); err != nil {
-			return fmt.Errorf("dust: save ann graph: %w", err)
+		for i := 0; i < sh.NumShards(); i++ {
+			if !sh.Shard(i).(*search.Starmie).HasANN() {
+				hasANN = false
+				break
+			}
 		}
-	} else if err := os.Remove(filepath.Join(dir, annFile)); err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("dust: save index: %w", err)
+		if hasANN {
+			for i := 0; i < sh.NumShards(); i++ {
+				st := sh.Shard(i).(*search.Starmie)
+				if err := writeFile(filepath.Join(dir, shardANNFile(i)), st.SaveANN); err != nil {
+					return fmt.Errorf("dust: save shard %d ann graph: %w", i, err)
+				}
+			}
+		}
+	case !sharded:
+		if s, ok := p.searcher.(*search.Starmie); ok && s.HasANN() {
+			hasANN = true
+			if err := writeFile(filepath.Join(dir, annFile), s.SaveANN); err != nil {
+				return fmt.Errorf("dust: save ann graph: %w", err)
+			}
+		} else if err := os.Remove(filepath.Join(dir, annFile)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("dust: save index: %w", err)
+		}
 	}
 
 	var b codec.Buffer
@@ -200,6 +281,18 @@ func (p *Pipeline) SaveIndex(dir string) error {
 	b.Uvarint(p.epoch)
 	b.Bool(annMode)
 	b.Bool(hasANN)
+	// v4: the shard map. Zero shards marks a monolithic index; n >= 1
+	// promises shard-000..shard-(n-1) files, each covering the recorded
+	// table list (in sub-lake iteration order, which the loaders rebuild
+	// the partition in).
+	if sharded {
+		b.Uvarint(uint64(sh.NumShards()))
+		for _, names := range sh.ShardTables() {
+			b.Strings(names)
+		}
+	} else {
+		b.Uvarint(0)
+	}
 	if err := writeFile(filepath.Join(dir, manifestFile), func(f io.Writer) error {
 		return codec.WriteEnvelope(f, codec.KindManifest, ManifestFormatVersion, b.Bytes())
 	}); err != nil {
@@ -256,6 +349,22 @@ func LoadPipelineLake(l *lake.Lake, indexDir string, opts ...Option) (*Pipeline,
 		annMode = sc.Bool()
 		hasANN = sc.Bool()
 	}
+	var shardTables [][]string
+	if version >= 4 {
+		numShards := sc.Uvarint()
+		// A hostile manifest could declare an absurd shard count; cap it
+		// well above any real deployment. Empty shards are legal (a lake
+		// smaller than its shard count saves and loads fine), so the cap
+		// must not depend on the table count.
+		const maxShards = 1 << 16
+		if sc.Err() == nil && numShards > maxShards {
+			return nil, fmt.Errorf("dust: load manifest: %d shards exceeds the %d cap: %w",
+				numShards, maxShards, codec.ErrCorrupt)
+		}
+		for i := uint64(0); i < numShards && sc.Err() == nil; i++ {
+			shardTables = append(shardTables, sc.Strings())
+		}
+	}
 	if err := sc.Finish(); err != nil {
 		return nil, fmt.Errorf("dust: load manifest: %w", err)
 	}
@@ -269,37 +378,44 @@ func LoadPipelineLake(l *lake.Lake, indexDir string, opts ...Option) (*Pipeline,
 		}
 	}
 
-	sf, err := os.Open(filepath.Join(indexDir, searcherFile))
-	if err != nil {
-		return nil, fmt.Errorf("dust: load index: %w", err)
-	}
 	var searcher search.Searcher
-	switch kind {
-	case "starmie":
-		searcher, err = search.LoadStarmie(sf, l)
-	case "d3l":
-		searcher, err = search.LoadD3L(sf, l)
-	default:
-		err = fmt.Errorf("dust: manifest names unknown searcher kind %q: %w", kind, codec.ErrCorrupt)
-	}
-	sf.Close()
-	if err != nil {
-		return nil, err
-	}
-	if hasANN {
-		s, ok := searcher.(*search.Starmie)
-		if !ok {
-			return nil, fmt.Errorf("dust: manifest records an ann graph for searcher kind %q: %w",
-				kind, codec.ErrCorrupt)
-		}
-		af, err := os.Open(filepath.Join(indexDir, annFile))
-		if err != nil {
-			return nil, fmt.Errorf("dust: load ann graph: %w", err)
-		}
-		err = s.LoadANN(af)
-		af.Close()
+	if len(shardTables) > 0 {
+		searcher, err = loadShardedSearcher(indexDir, kind, shardTables, l, hasANN)
 		if err != nil {
 			return nil, err
+		}
+	} else {
+		sf, err := os.Open(filepath.Join(indexDir, searcherFile))
+		if err != nil {
+			return nil, fmt.Errorf("dust: load index: %w", err)
+		}
+		switch kind {
+		case "starmie":
+			searcher, err = search.LoadStarmie(sf, l)
+		case "d3l":
+			searcher, err = search.LoadD3L(sf, l)
+		default:
+			err = fmt.Errorf("dust: manifest names unknown searcher kind %q: %w", kind, codec.ErrCorrupt)
+		}
+		sf.Close()
+		if err != nil {
+			return nil, err
+		}
+		if hasANN {
+			s, ok := searcher.(*search.Starmie)
+			if !ok {
+				return nil, fmt.Errorf("dust: manifest records an ann graph for searcher kind %q: %w",
+					kind, codec.ErrCorrupt)
+			}
+			af, err := os.Open(filepath.Join(indexDir, annFile))
+			if err != nil {
+				return nil, fmt.Errorf("dust: load ann graph: %w", err)
+			}
+			err = s.LoadANN(af)
+			af.Close()
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -327,6 +443,78 @@ func LoadPipelineLake(l *lake.Lake, indexDir string, opts ...Option) (*Pipeline,
 	// (fingerprint, epoch) stay distinct across a save/load cycle.
 	p.epoch = epoch
 	return p, nil
+}
+
+// loadShardedSearcher reconstitutes a sharded searcher from per-shard
+// index files: the manifest's shard map rebuilds each sub-lake (tables in
+// their saved order), every shard file loads against its own sub-lake
+// (self-validating: encoder fingerprint, table set, checksums), per-shard
+// ANN graphs install when the manifest promises them, and shard.Assemble
+// re-binds the set to one shared corpus. A shard file missing for a
+// recorded shard is ErrShardLayout — the count in the manifest and the
+// files on disk disagree.
+func loadShardedSearcher(indexDir, kind string, shardTables [][]string, l *lake.Lake, hasANN bool) (search.Searcher, error) {
+	parts := make([]shard.Part, len(shardTables))
+	for i, names := range shardTables {
+		sl := lake.New(fmt.Sprintf("%s#%d", l.Name, i))
+		for _, name := range names {
+			t := l.Get(name)
+			if t == nil {
+				return nil, fmt.Errorf("dust: shard %d table %q not in lake: %w", i, name, search.ErrLakeMismatch)
+			}
+			if err := sl.Add(t); err != nil {
+				return nil, fmt.Errorf("dust: shard %d map: %v: %w", i, err, codec.ErrCorrupt)
+			}
+		}
+		sf, err := os.Open(filepath.Join(indexDir, shardSearcherFile(i)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil, fmt.Errorf("dust: shard %d/%d missing %s: %w",
+					i, len(shardTables), shardSearcherFile(i), ErrShardLayout)
+			}
+			return nil, fmt.Errorf("dust: load shard %d: %w", i, err)
+		}
+		var sub search.Searcher
+		switch kind {
+		case shard.KindStarmie:
+			sub, err = search.LoadStarmie(sf, sl)
+		case shard.KindD3L:
+			sub, err = search.LoadD3L(sf, sl)
+		default:
+			err = fmt.Errorf("dust: manifest names unknown searcher kind %q: %w", kind, codec.ErrCorrupt)
+		}
+		sf.Close()
+		if err != nil {
+			return nil, fmt.Errorf("dust: load shard %d: %w", i, err)
+		}
+		if hasANN {
+			st, ok := sub.(*search.Starmie)
+			if !ok {
+				return nil, fmt.Errorf("dust: manifest records ann graphs for searcher kind %q: %w",
+					kind, codec.ErrCorrupt)
+			}
+			af, err := os.Open(filepath.Join(indexDir, shardANNFile(i)))
+			if err != nil {
+				if os.IsNotExist(err) {
+					return nil, fmt.Errorf("dust: shard %d missing %s: %w",
+						i, shardANNFile(i), ErrShardLayout)
+				}
+				return nil, fmt.Errorf("dust: load shard %d ann graph: %w", i, err)
+			}
+			err = st.LoadANN(af)
+			af.Close()
+			if err != nil {
+				return nil, fmt.Errorf("dust: load shard %d: %w", i, err)
+			}
+		}
+		parts[i] = shard.Part{Lake: sl, Searcher: sub}
+	}
+	s, err := shard.Assemble(l, kind, parts, shard.Config{})
+	if err != nil {
+		// Keeps shard.ErrLayoutMismatch reachable through errors.Is.
+		return nil, fmt.Errorf("dust: load sharded index: %w", err)
+	}
+	return s, nil
 }
 
 // writeFile creates path, streams content through write, and closes it,
