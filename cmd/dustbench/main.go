@@ -19,6 +19,12 @@
 // and records the aggregate in BENCH_ann.json; the -shards run prints
 // per-query monolithic/sharded latency with an exact-parity column plus
 // scatter-gather throughput and records the aggregate in BENCH_shard.json.
+//
+// -cpuprofile and -memprofile wrap whichever workload runs in pprof
+// collection, so the retrieval benchmarks are profileable end to end:
+//
+//	dustbench -shards 8 -quick -cpuprofile shard.cpu.pprof
+//	go tool pprof -top shard.cpu.pprof
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dust/internal/experiments"
@@ -33,20 +40,48 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment to run (default: all)")
-		quick    = flag.Bool("quick", false, "reduced workload sizes")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		workers  = flag.Int("workers", 0, "cap parallelism via GOMAXPROCS (0 = all cores); every parallel kernel derives its default from it")
-		ann      = flag.Bool("ann", false, "benchmark staged retrieval (exact vs HNSW + recall@k) instead of the paper experiments")
-		searcher = flag.String("searcher", "starmie", "searcher for -ann: starmie or tuples")
-		annK     = flag.Int("k", 10, "top-k for the -ann and -shards benchmarks")
-		annOut   = flag.String("ann-out", "BENCH_ann.json", "where -ann writes its JSON report")
-		shards   = flag.Int("shards", 0, "benchmark the sharded scatter-gather index with N shards (monolithic vs sharded TopK + throughput) instead of the paper experiments")
-		shardOut = flag.String("shard-out", "BENCH_shard.json", "where -shards writes its JSON report")
+		exp        = flag.String("exp", "", "experiment to run (default: all)")
+		quick      = flag.Bool("quick", false, "reduced workload sizes")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		workers    = flag.Int("workers", 0, "cap parallelism via GOMAXPROCS (0 = all cores); every parallel kernel derives its default from it")
+		ann        = flag.Bool("ann", false, "benchmark staged retrieval (exact vs HNSW + recall@k) instead of the paper experiments")
+		searcher   = flag.String("searcher", "starmie", "searcher for -ann: starmie or tuples")
+		annK       = flag.Int("k", 10, "top-k for the -ann and -shards benchmarks")
+		annOut     = flag.String("ann-out", "BENCH_ann.json", "where -ann writes its JSON report")
+		shards     = flag.Int("shards", 0, "benchmark the sharded scatter-gather index with N shards (monolithic vs sharded TopK + throughput) instead of the paper experiments")
+		shardOut   = flag.String("shard-out", "BENCH_shard.json", "where -shards writes its JSON report")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	flag.Parse()
 	if *workers > 0 {
 		runtime.GOMAXPROCS(*workers)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dustbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dustbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dustbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dustbench:", err)
+			}
+		}()
 	}
 
 	if *ann {

@@ -354,6 +354,18 @@ func (p *Pipeline) QueryBound(n int) *Pipeline {
 	return &c
 }
 
+// Close releases long-lived resources held by the pipeline's searcher —
+// today, the sharded searcher's scatter worker pool, which is shared by
+// every clone in its family (snapshot swaps reuse it). Call Close once the
+// pipeline family is done serving queries; monolithic searchers hold no
+// such resources and Close is then a no-op. Queries after Close panic for
+// sharded pipelines.
+func (p *Pipeline) Close() {
+	if c, ok := p.searcher.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
+
 // tableRows collects a table's rows for batch encoding.
 func tableRows(t *table.Table) [][]string {
 	rows := make([][]string, t.NumRows())

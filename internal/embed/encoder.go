@@ -1,6 +1,8 @@
 package embed
 
 import (
+	"sync/atomic"
+
 	"dust/internal/vector"
 )
 
@@ -21,6 +23,8 @@ type Encoder struct {
 	contextual bool    // mix neighbouring tokens (language-model style)
 
 	common vector.Vec // the shared anisotropy direction for this model
+
+	calls *atomic.Int64 // optional instrumentation; see Instrument
 }
 
 // Option configures an Encoder.
@@ -92,8 +96,18 @@ func (e *Encoder) Name() string { return e.name }
 // Dim returns the embedding dimension.
 func (e *Encoder) Dim() int { return e.dim }
 
+// Instrument attaches an encoding-call counter: every subsequent
+// EncodeTokens call atomically increments c. Pass nil to detach. The
+// prepared-query tests use this to prove a sharded query is encoded exactly
+// once, not once per shard. Instrument is not synchronized with concurrent
+// EncodeTokens calls — attach before querying starts.
+func (e *Encoder) Instrument(c *atomic.Int64) { e.calls = c }
+
 // EncodeTokens embeds a token sequence. The output is L2-normalized.
 func (e *Encoder) EncodeTokens(tokens []string) vector.Vec {
+	if e.calls != nil {
+		e.calls.Add(1)
+	}
 	content := make(vector.Vec, e.dim)
 	if len(tokens) > 0 {
 		tok := make(vector.Vec, e.dim)

@@ -274,29 +274,66 @@ func (d *D3L) TopK(query *table.Table, k int) []Scored {
 	return out
 }
 
+// d3lPrepared is D3L's PreparedQuery: the per-column signatures, word
+// embeddings, and profiles of the query, derived once. All four are
+// corpus-independent, so any D3L index — every shard of a partitioned lake
+// — accepts the preparation interchangeably.
+type d3lPrepared struct {
+	query *table.Table
+	sigs  []minhash.Signature
+	vecs  []vector.Vec
+	fmts  []formatProfile
+	nums  []numericProfile
+}
+
+// Query implements PreparedQuery.
+func (p *d3lPrepared) Query() *table.Table { return p.query }
+
+// Prepare implements PreparedSearcher: the query's five per-column signals
+// are derived exactly once.
+func (d *D3L) Prepare(query *table.Table) PreparedQuery {
+	n := query.NumCols()
+	p := &d3lPrepared{
+		query: query,
+		sigs:  make([]minhash.Signature, n),
+		vecs:  make([]vector.Vec, n),
+		fmts:  make([]formatProfile, n),
+		nums:  make([]numericProfile, n),
+	}
+	for i := range query.Columns {
+		col := &query.Columns[i]
+		p.sigs[i] = d.hasher.Sign(col.Values)
+		p.vecs[i] = d.embedColumn(col)
+		p.fmts[i] = profileFormat(col.Values)
+		p.nums[i] = profileNumeric(col.Values)
+	}
+	return p
+}
+
 // TopKContext implements ContextSearcher: the candidate scan stops scoring
 // further tables once ctx is cancelled and the call returns ctx.Err().
 func (d *D3L) TopKContext(ctx context.Context, query *table.Table, k int) ([]Scored, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	n := query.NumCols()
-	qSigs := make([]minhash.Signature, n)
-	qVecs := make([]vector.Vec, n)
-	qFmts := make([]formatProfile, n)
-	qNums := make([]numericProfile, n)
-	for i := range query.Columns {
-		col := &query.Columns[i]
-		qSigs[i] = d.hasher.Sign(col.Values)
-		qVecs[i] = d.embedColumn(col)
-		qFmts[i] = profileFormat(col.Values)
-		qNums[i] = profileNumeric(col.Values)
+	return d.TopKPrepared(ctx, d.Prepare(query), k)
+}
+
+// TopKPrepared implements PreparedSearcher: TopKContext minus the signal
+// derivation, which pq already carries.
+func (d *D3L) TopKPrepared(ctx context.Context, pq PreparedQuery, k int) ([]Scored, error) {
+	p, ok := pq.(*d3lPrepared)
+	if !ok {
+		return nil, fmt.Errorf("d3l: %w: %T", ErrForeignPrepared, pq)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	cands := d.lake.Tables()
 	if d.mode == ANN && k > 0 {
-		// The per-column signatures above serve double duty: the
-		// value-overlap score and, here, the LSH candidate lookup.
-		names := d.candidateNamesSigned(qSigs)
+		// The prepared signatures serve double duty: the value-overlap
+		// score and, here, the LSH candidate lookup.
+		names := d.candidateNamesSigned(p.sigs)
 		if len(names) > 0 {
 			// Empty LSH buckets (no value overlap anywhere) fall through
 			// to the exact scan: a best-effort ranking, like exact mode,
@@ -310,22 +347,58 @@ func (d *D3L) TopKContext(ctx context.Context, query *table.Table, k int) ([]Sco
 		}
 	}
 	return rankTablesCtx(ctx, cands, k, d.workers, func(t *table.Table) float64 {
-		if t.NumCols() == 0 || n == 0 {
-			return 0
-		}
-		var sum float64
-		for i := range query.Columns {
-			best := 0.0
-			for ci := range t.Columns {
-				if s := d.columnScore(&query.Columns[i], qSigs[i], qVecs[i], qFmts[i], qNums[i], t, ci); s > best {
-					best = s
-				}
-			}
-			sum += best
-		}
-		return sum / float64(n)
+		return d.scorePrepared(p, t)
 	})
 }
+
+// scorePrepared is the exact five-signal table score under a prepared
+// query: the mean best aggregate over the query's columns.
+func (d *D3L) scorePrepared(p *d3lPrepared, t *table.Table) float64 {
+	n := p.query.NumCols()
+	if t.NumCols() == 0 || n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range p.query.Columns {
+		best := 0.0
+		for ci := range t.Columns {
+			if s := d.columnScore(&p.query.Columns[i], p.sigs[i], p.vecs[i], p.fmts[i], p.nums[i], t, ci); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(n)
+}
+
+// NominatePrepared implements PreparedNominator: the tables sharing an LSH
+// bucket with any query column in ANN mode (depth is advisory — buckets are
+// set-shaped), every lake table otherwise. An empty return means no bucket
+// matched anywhere; the coordinator picks the fallback, mirroring the
+// exact-scan fallback of TopKPrepared.
+func (d *D3L) NominatePrepared(ctx context.Context, pq PreparedQuery, depth int) ([]string, error) {
+	p, ok := pq.(*d3lPrepared)
+	if !ok {
+		return nil, fmt.Errorf("d3l: %w: %T", ErrForeignPrepared, pq)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if d.mode != ANN || depth <= 0 {
+		return d.lake.Names(), nil
+	}
+	return d.candidateNamesSigned(p.sigs), nil
+}
+
+// ScorePrepared implements PreparedNominator.
+func (d *D3L) ScorePrepared(pq PreparedQuery, t *table.Table) float64 {
+	return d.scorePrepared(pq.(*d3lPrepared), t)
+}
+
+// Encoder exposes the word-embedding model of the value/embedding signal.
+// Tests instrument it to count encoding calls — the prepared-query gate
+// that proves a sharded query derives its signals exactly once.
+func (d *D3L) Encoder() *embed.Encoder { return d.enc }
 
 // CandidateTables returns lake table names sharing an LSH bucket with any
 // of the query's columns — D3L's pruning path, exposed for tests and the

@@ -189,6 +189,60 @@ func TopKCtx(ctx context.Context, s Searcher, query *table.Table, k int) ([]Scor
 	return s.TopK(query, k), nil
 }
 
+// PreparedQuery is a query's encoded representation — column embeddings,
+// MinHash signatures, signal profiles — computed once by Prepare and
+// reusable across many TopKPrepared calls. A prepared query is only
+// meaningful to searchers sharing the encoder state of the one that
+// prepared it: identically configured encoders over the same (shared)
+// corpus, which is exactly what the shards of one partitioned lake hold.
+// Implementations type-assert the concrete preparation and report
+// ErrForeignPrepared for one produced by a different searcher family.
+type PreparedQuery interface {
+	// Query returns the query table the preparation encodes.
+	Query() *table.Table
+}
+
+// ErrForeignPrepared reports a PreparedQuery handed to a searcher family
+// that did not produce it.
+var ErrForeignPrepared = errors.New("search: prepared query from a different searcher family")
+
+// PreparedSearcher splits query encoding out of the search, so fan-out
+// callers — the sharded scatter in internal/shard — encode a query exactly
+// once and search many sub-indexes with the prepared form instead of
+// re-deriving the representation per shard. TopKPrepared(ctx, Prepare(q), k)
+// returns exactly what TopKContext(ctx, q, k) would: in exact mode the
+// results are bit-identical. All three searchers in this package implement
+// it (the tuple-level searcher with a typed analogue).
+type PreparedSearcher interface {
+	ContextSearcher
+	// Prepare encodes the query once; the result may be reused across
+	// any number of TopKPrepared calls and across searchers sharing this
+	// searcher's encoder state.
+	Prepare(query *table.Table) PreparedQuery
+	// TopKPrepared is TopKContext over an already-encoded query.
+	TopKPrepared(ctx context.Context, pq PreparedQuery, k int) ([]Scored, error)
+}
+
+// PreparedNominator is the candidate-only half of the prepared surface: it
+// nominates candidate tables for a prepared query WITHOUT scoring them,
+// and scores single tables on demand. A scatter-gather coordinator uses it
+// to run retrieval per shard but exact scoring exactly once, globally, on
+// the merged candidate pool — instead of every shard exactly scoring its
+// own oversampled pool.
+type PreparedNominator interface {
+	// NominatePrepared returns candidate table names, name-sorted. depth
+	// bounds the per-query-vector neighbor count for graph backends
+	// (HNSW); set-shaped backends (the exact scan, LSH buckets) ignore it
+	// and return their whole set. An approximate backend may return an
+	// empty list when it has no signal (e.g. empty LSH buckets); callers
+	// decide the fallback.
+	NominatePrepared(ctx context.Context, pq PreparedQuery, depth int) ([]string, error)
+	// ScorePrepared exactly scores one indexed table under pq. It panics
+	// on a foreign preparation or an unindexed table — both composition
+	// errors of the owning coordinator, not runtime conditions.
+	ScorePrepared(pq PreparedQuery, t *table.Table) float64
+}
+
 // Cloner is a Searcher that can produce an independently mutable copy of
 // itself bound to a (cloned) lake: Incremental mutations on the clone never
 // disturb the original, while the heavy immutable index state — embedding

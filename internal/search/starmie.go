@@ -214,11 +214,20 @@ func (s *Starmie) maybeRebuild() {
 }
 
 // annCandidateNames nominates the owner tables of the perColumn nearest
-// column embeddings to each query column, name-sorted for determinism.
+// column embeddings to each query column, name-sorted for determinism. The
+// beam width ef caps at the searcher's EfSearch but shrinks with shallow
+// fetches: HNSW traversal cost is ef-proportional, and a beam several
+// times the fetch depth already saturates recall, so a sharded nomination
+// at depth ~k/n must not pay the full-depth beam the monolithic plan is
+// tuned for.
 func (s *Starmie) annCandidateNames(qCols []vector.Vec, perColumn int) []string {
+	ef := s.EfSearch
+	if scaled := 4*perColumn + 16; scaled < ef {
+		ef = scaled
+	}
 	seen := make(map[string]bool)
 	for _, qv := range qCols {
-		for _, id := range s.graph.Search(vector.ToVec32(qv), perColumn, s.EfSearch) {
+		for _, id := range s.graph.Search(vector.ToVec32(qv), perColumn, ef) {
 			seen[s.annTables[id]] = true
 		}
 	}
@@ -367,6 +376,11 @@ func (s *Starmie) RefreshBig() {
 	}
 }
 
+// Encoder exposes the searcher's column encoder. Tests instrument its
+// shared base model to count encoding calls — the prepared-query gate that
+// proves a sharded query encodes exactly once.
+func (s *Starmie) Encoder() embed.StarmieEncoder { return s.enc }
+
 // Corpus exposes the TF-IDF corpus the index was embedded against. The
 // sharding layer uses it to recover the one shared corpus instance after a
 // per-shard warm start; treat it as read-only unless you own the searcher's
@@ -450,6 +464,23 @@ func (s *Starmie) TopK(query *table.Table, k int) []Scored {
 	return out
 }
 
+// starmiePrepared is Starmie's PreparedQuery: the query's contextualized
+// column embeddings, encoded once against the index corpus.
+type starmiePrepared struct {
+	query *table.Table
+	cols  []vector.Vec
+}
+
+// Query implements PreparedQuery.
+func (p *starmiePrepared) Query() *table.Table { return p.query }
+
+// Prepare implements PreparedSearcher: the query's columns are embedded
+// exactly once. Searchers sharing this searcher's corpus — the shards of a
+// partitioned lake — accept the preparation interchangeably.
+func (s *Starmie) Prepare(query *table.Table) PreparedQuery {
+	return &starmiePrepared{query: query, cols: s.EncodeQuery(query)}
+}
+
 // TopKContext implements ContextSearcher as the staged plan: retrieve
 // candidates (every lake table in Exact mode; the owners of the nearest
 // column embeddings in ANN mode), then score them exactly and keep the
@@ -459,14 +490,48 @@ func (s *Starmie) TopKContext(ctx context.Context, query *table.Table, k int) ([
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	qCols := s.EncodeQuery(query)
-	cands, err := s.candidates(ctx, qCols, k)
+	return s.TopKPrepared(ctx, s.Prepare(query), k)
+}
+
+// TopKPrepared implements PreparedSearcher: TopKContext minus the query
+// encoding, which pq already carries.
+func (s *Starmie) TopKPrepared(ctx context.Context, pq PreparedQuery, k int) ([]Scored, error) {
+	p, ok := pq.(*starmiePrepared)
+	if !ok {
+		return nil, fmt.Errorf("starmie: %w: %T", ErrForeignPrepared, pq)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cands, err := s.candidates(ctx, p.cols, k)
 	if err != nil {
 		return nil, err
 	}
 	return rankTablesCtx(ctx, cands, k, s.workers, func(t *table.Table) float64 {
-		return s.Score(qCols, t)
+		return s.Score(p.cols, t)
 	})
+}
+
+// NominatePrepared implements PreparedNominator: the depth nearest column
+// embeddings per query column in ANN mode (the per-shard nomination stage
+// of the sharded candidate-only plan), every lake table otherwise.
+func (s *Starmie) NominatePrepared(ctx context.Context, pq PreparedQuery, depth int) ([]string, error) {
+	p, ok := pq.(*starmiePrepared)
+	if !ok {
+		return nil, fmt.Errorf("starmie: %w: %T", ErrForeignPrepared, pq)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.mode != ANN || s.graph == nil || depth <= 0 {
+		return s.lake.Names(), nil
+	}
+	return s.annCandidateNames(p.cols, depth), nil
+}
+
+// ScorePrepared implements PreparedNominator.
+func (s *Starmie) ScorePrepared(pq PreparedQuery, t *table.Table) float64 {
+	return s.Score(pq.(*starmiePrepared).cols, t)
 }
 
 // candidates is the retrieval stage. ANN retrieval needs a positive k to

@@ -219,6 +219,34 @@ func (ts *TupleSearch) TopK(query *table.Table, k int) []ScoredTuple {
 	return out
 }
 
+// PreparedTupleQuery is the tuple-level analogue of PreparedQuery: the
+// query's tuple embeddings, computed once by PrepareTuples and reusable
+// across every TupleSearch built from the same encoder family (the
+// embeddings depend only on the deterministic base model, not on the
+// index contents — so one preparation serves every shard of a
+// partitioned tuple index).
+type PreparedTupleQuery struct {
+	query *table.Table
+	vecs  []vector.Vec
+}
+
+// Query returns the query table the preparation was derived from.
+func (p *PreparedTupleQuery) Query() *table.Table { return p.query }
+
+// PrepareTuples embeds the query's tuples exactly once. The result feeds
+// TopKPreparedContext on any number of indexes.
+func (ts *TupleSearch) PrepareTuples(query *table.Table) *PreparedTupleQuery {
+	headers := query.Headers()
+	rows := make([][]string, query.NumRows())
+	for r := range rows {
+		rows[r] = query.Row(r)
+	}
+	return &PreparedTupleQuery{
+		query: query,
+		vecs:  ts.enc.EncodeTupleBatch(headers, rows, ts.workers),
+	}
+}
+
 // TopKContext is TopK with a cancellation path (the tuple-level analogue of
 // ContextSearcher, typed for tuple hits): once ctx is cancelled the
 // remaining tuples are not scored and ctx.Err() is returned. In ANN mode
@@ -228,12 +256,17 @@ func (ts *TupleSearch) TopKContext(ctx context.Context, query *table.Table, k in
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	headers := query.Headers()
-	rows := make([][]string, query.NumRows())
-	for r := range rows {
-		rows[r] = query.Row(r)
+	return ts.TopKPreparedContext(ctx, ts.PrepareTuples(query), k)
+}
+
+// TopKPreparedContext is TopKContext minus the query embedding, which pq
+// already carries — the scatter path of a sharded tuple index calls this so
+// the embedding cost is paid once, not once per shard.
+func (ts *TupleSearch) TopKPreparedContext(ctx context.Context, pq *PreparedTupleQuery, k int) ([]ScoredTuple, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	qVecs := ts.enc.EncodeTupleBatch(headers, rows, ts.workers)
+	qVecs := pq.vecs
 	if ts.mode == ANN && ts.graph != nil && k > 0 {
 		return ts.topKANN(ctx, qVecs, k)
 	}

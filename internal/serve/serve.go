@@ -137,6 +137,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // embedding callers; requests load it exactly once themselves).
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
+// Close releases resources owned by the served pipeline — with a sharded
+// index, the shard family's long-lived scatter pool (shared across every
+// snapshot clone, so one call covers the whole swap history). Call it only
+// once the server stops receiving requests: queries already in flight are
+// unaffected (request views scatter inline, without the pool), but the
+// master pipeline must not serve new work after Close.
+func (s *Server) Close() { s.snap.Load().master.Close() }
+
 // tableJSON is the wire form of a table: a header row plus value rows.
 type tableJSON struct {
 	Name    string     `json:"name,omitempty"`

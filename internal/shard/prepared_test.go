@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"dust/internal/datagen"
+	"dust/internal/search"
+	"dust/internal/table"
+)
+
+// TestPreparedEquivalence is the acceptance gate of the prepared
+// scatter-gather rewrite: with the encode-once scatter, the bounded gather,
+// and the candidate-only ANN plan in place, exact sharded results must stay
+// bit-identical to the unsharded searcher across shard counts {1, 2, 4, 8}
+// and scatter widths {1, 8}; sharded ANN must keep monolithic-grade recall;
+// and a sharded query must encode exactly once, not once per shard.
+func TestPreparedEquivalence(t *testing.T) {
+	b, queries := shardBench(t)
+	for _, kind := range []string{KindStarmie, KindD3L} {
+		want := buildUnsharded(t, kind, b.Lake, 0)
+		for _, shards := range []int{1, 2, 4, 8} {
+			for _, workers := range []int{1, 8} {
+				t.Run(fmt.Sprintf("%s/shards=%d/workers=%d", kind, shards, workers), func(t *testing.T) {
+					s := buildSharded(t, kind, b.Lake, shards, workers)
+					defer s.Close()
+					for qi, q := range queries {
+						for _, k := range []int{1, 5, 12} {
+							label := fmt.Sprintf("query %d k=%d", qi, k)
+							sameHits(t, label, s.TopK(q, k), want.TopK(q, k))
+						}
+						sameHits(t, fmt.Sprintf("query %d full", qi), s.TopK(q, 0), want.TopK(q, 0))
+					}
+				})
+			}
+		}
+	}
+
+	// The candidate-only ANN plan: shards nominate, the merged pool is
+	// scored exactly once, and recall@10 holds the monolithic >= 0.95 bar.
+	t.Run("ann-candidate-recall", func(t *testing.T) {
+		const k = 10
+		exact := buildUnsharded(t, KindStarmie, b.Lake, 0)
+		approx := NewStarmie(b.Lake, 4, Config{})
+		defer approx.Close()
+		if err := approx.SetMode(search.ANN); err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, q := range queries {
+			truth := map[string]bool{}
+			for _, h := range exact.TopK(q, k) {
+				truth[h.Table.Name] = true
+			}
+			hits := 0
+			for _, h := range approx.TopK(q, k) {
+				if truth[h.Table.Name] {
+					hits++
+				}
+			}
+			sum += float64(hits) / float64(len(truth))
+		}
+		if r := sum / float64(len(queries)); r < 0.95 {
+			t.Fatalf("sharded candidate-only ANN recall@%d = %.3f, want >= 0.95", k, r)
+		}
+	})
+
+	// Encode-once: one sharded query costs exactly NumCols base-model
+	// encoding calls — the same as unsharded — regardless of shard count.
+	// Before the prepared scatter it cost shards x NumCols.
+	t.Run("encode-once", func(t *testing.T) {
+		for _, shards := range []int{1, 4, 8} {
+			s := NewStarmie(b.Lake, shards, Config{Workers: 4})
+			defer s.Close()
+			var calls atomic.Int64
+			for i := 0; i < s.NumShards(); i++ {
+				s.Shard(i).(*search.Starmie).Encoder().Model.Instrument(&calls)
+			}
+			for qi, q := range queries {
+				calls.Store(0)
+				s.TopK(q, 5)
+				if got, want := calls.Load(), int64(q.NumCols()); got != want {
+					t.Fatalf("shards=%d query %d: %d encode calls, want %d (encode-once)",
+						shards, qi, got, want)
+				}
+			}
+		}
+	})
+}
+
+// TestCloseSharedPool pins the family-wide pool lifecycle: Close is
+// idempotent, clones share the pool so closing either side closes both,
+// and query-bounded views — which scatter inline without the pool — keep
+// serving after the family pool is gone.
+func TestCloseSharedPool(t *testing.T) {
+	b, queries := shardBench(t)
+	q := queries[0]
+	s := NewD3L(b.Lake, 3, Config{Workers: 4})
+	bound := s.QueryWorkers(1).(*Searcher)
+	want := s.TopK(q, 6)
+
+	cl := s.CloneWithLake(b.Lake.Clone()).(*Searcher)
+	sameHits(t, "clone before close", cl.TopK(q, 6), want)
+
+	s.Close()
+	s.Close()  // idempotent on the same member
+	cl.Close() // and across the family
+	sameHits(t, "bound view after family close", bound.TopK(q, 6), want)
+}
+
+// TestStageTimings checks the instrumentation hook: an attached
+// accumulator sees every query with non-negative stage times and a
+// non-zero encode stage.
+func TestStageTimings(t *testing.T) {
+	b, queries := shardBench(t)
+	s := NewStarmie(b.Lake, 4, Config{Workers: 4})
+	defer s.Close()
+	var st StageTimings
+	s.Instrument(&st)
+	for _, q := range queries {
+		s.TopK(q, 8)
+	}
+	if got, want := st.Queries.Load(), int64(len(queries)); got != want {
+		t.Fatalf("recorded %d queries, want %d", got, want)
+	}
+	if st.EncodeNS.Load() <= 0 {
+		t.Error("encode stage recorded no time")
+	}
+	if st.ScatterNS.Load() < 0 || st.GatherNS.Load() < 0 {
+		t.Error("negative stage time")
+	}
+}
+
+// mergeHitsSort is the pre-heap gather — concatenate everything, sort the
+// union, truncate — kept as the reference implementation the heap merge is
+// differential-tested and benchmarked against.
+func mergeHitsSort(hits [][]search.Scored, k int) []search.Scored {
+	var all []search.Scored
+	for _, h := range hits {
+		all = append(all, h...)
+	}
+	sort.Slice(all, func(i, j int) bool { return hitLess(all[i], all[j]) })
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// randomHitLists builds n sorted per-shard result lists over disjoint
+// synthetic names, the shape mergeHits consumes.
+func randomHitLists(rng *rand.Rand, n, maxLen int) [][]search.Scored {
+	lists := make([][]search.Scored, n)
+	for i := range lists {
+		m := rng.Intn(maxLen + 1)
+		h := make([]search.Scored, m)
+		for j := range h {
+			tb := table.New(fmt.Sprintf("t%02d_%03d", i, j))
+			h[j] = search.Scored{Table: tb, Score: float64(rng.Intn(50)) / 10}
+		}
+		for a := 1; a < len(h); a++ {
+			for b := a; b > 0 && hitLess(h[b], h[b-1]); b-- {
+				h[b], h[b-1] = h[b-1], h[b]
+			}
+		}
+		lists[i] = h
+	}
+	return lists
+}
+
+// TestMergeHitsMatchesSort differential-tests the k-way heap merge against
+// the sort reference across list shapes, shard counts, and k values
+// (including k <= 0, the full merge).
+func TestMergeHitsMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(9)
+		lists := randomHitLists(rng, n, 12)
+		for _, k := range []int{0, 1, 3, 10, 1000} {
+			got := mergeHits(lists, k)
+			want := mergeHitsSort(lists, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d k=%d: %d hits, want %d", trial, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d k=%d hit %d: (%s,%v), want (%s,%v)", trial, k, i,
+						got[i].Table.Name, got[i].Score, want[i].Table.Name, want[i].Score)
+				}
+			}
+		}
+	}
+	if out := mergeHits(nil, 5); out != nil {
+		t.Errorf("mergeHits(nil) = %v, want nil", out)
+	}
+	if out := mergeHits([][]search.Scored{nil, {}}, 5); out != nil {
+		t.Errorf("mergeHits(empties) = %v, want nil", out)
+	}
+}
+
+// benchHitLists is the benchmark fixture: 8 shards x 40 sorted hits, the
+// shape of an oversampled k=10 gather before the bounded rewrite.
+func benchHitLists() [][]search.Scored {
+	rng := rand.New(rand.NewSource(3))
+	lists := randomHitLists(rng, 8, 0)
+	for i := range lists {
+		h := make([]search.Scored, 40)
+		for j := range h {
+			tb := table.New(fmt.Sprintf("t%02d_%03d", i, j))
+			h[j] = search.Scored{Table: tb, Score: rng.Float64()}
+		}
+		for a := 1; a < len(h); a++ {
+			for b := a; b > 0 && hitLess(h[b], h[b-1]); b-- {
+				h[b], h[b-1] = h[b-1], h[b]
+			}
+		}
+		lists[i] = h
+	}
+	return lists
+}
+
+// BenchmarkMergeHitsHeap measures the k-way heap merge (stops at k).
+func BenchmarkMergeHitsHeap(b *testing.B) {
+	lists := benchHitLists()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mergeHits(lists, 10)
+	}
+}
+
+// BenchmarkMergeHitsSort measures the old concat+sort gather on the same
+// input.
+func BenchmarkMergeHitsSort(b *testing.B) {
+	lists := benchHitLists()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mergeHitsSort(lists, 10)
+	}
+}
+
+// benchLake builds the dustbench -quick scale workload (1k tables) so the
+// two layouts' exact paths can be compared and profiled in isolation.
+func benchLake(b *testing.B) (*datagen.Benchmark, []*table.Table) {
+	b.Helper()
+	bench := datagen.Generate("shard-bench", datagen.Config{
+		Seed: 997, Domains: 10, TablesPerBase: 100, QueriesPerBase: 1,
+		BaseRows: 30, MinRows: 4, MaxRows: 8,
+	})
+	return bench, bench.Queries
+}
+
+// BenchmarkExactMono is the monolithic exact TopK baseline.
+func BenchmarkExactMono(b *testing.B) {
+	bench, queries := benchLake(b)
+	mono := search.NewStarmie(bench.Lake)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mono.TopK(queries[i%len(queries)], 10)
+	}
+}
+
+// BenchmarkExactSharded is the sharded exact TopK path over the same lake
+// (8 shards), the configuration the CI bench gate compares against the
+// monolithic baseline.
+func BenchmarkExactSharded(b *testing.B) {
+	bench, queries := benchLake(b)
+	s := NewStarmie(bench.Lake, 8, Config{})
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TopK(queries[i%len(queries)], 10)
+	}
+}

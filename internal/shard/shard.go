@@ -2,14 +2,33 @@
 // serves queries by scatter-gather: a deterministic hash assigns every
 // table to one shard, each shard owns its own searcher (and, in ANN mode,
 // its own HNSW graph) over its own sub-lake, queries fan out across the
-// shards in parallel, each shard answers with its local top candidates
-// scored exactly, and the gather stage re-ranks the union under the global
-// score order. Because every shard scores with the exact scorer — against
-// one corpus shared by all shards, for the TF-IDF-sensitive Starmie index
-// — the merged exact-mode ranking is bit-identical to an unsharded scan,
-// while the index itself becomes horizontally partitioned: shards build,
-// persist, mutate, and clone independently, which is the substrate for
-// spreading a lake across processes or machines.
+// shards in parallel, and the gather stage merges the shards' answers
+// under the global score order. Because every shard scores with the exact
+// scorer — against one corpus shared by all shards, for the
+// TF-IDF-sensitive Starmie index — the merged exact-mode ranking is
+// bit-identical to an unsharded scan, while the index itself becomes
+// horizontally partitioned: shards build, persist, mutate, and clone
+// independently, which is the substrate for spreading a lake across
+// processes or machines.
+//
+// The query path is built so sharding adds no per-query duplicate work:
+//
+//   - Encode once, scatter prepared. The query's representation (Starmie
+//     column embeddings, D3L signatures and profiles) is derived exactly
+//     once via search.PreparedSearcher and the prepared form fans out, so
+//     shard count never multiplies encoding cost.
+//   - Bounded gather. In exact mode each shard returns a truncated local
+//     top list (k/n plus slack, never more than k) merged by a k-way heap;
+//     a threshold-style bound then re-fetches only shards whose truncated
+//     list could still change the global top k, so the merge stays exact
+//     while the common case moves far fewer hits than k-per-shard.
+//   - Candidate-only ANN. In ANN mode shards only nominate candidate names
+//     from their retrieval structures; the exact re-scoring happens once,
+//     globally, on the merged pool — not once per shard on oversampled
+//     local pools.
+//   - No per-query fixed costs. The scatter runs on one long-lived worker
+//     pool owned by the shard family (see Close), not a pool built and
+//     torn down per query.
 package shard
 
 import (
@@ -20,6 +39,9 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"dust/internal/embed"
 	"dust/internal/lake"
@@ -35,6 +57,57 @@ const (
 	KindStarmie = "starmie"
 	KindD3L     = "d3l"
 )
+
+// Gather-stage tuning. Both are slack on provably-sufficient bounds, so
+// they trade a little extra per-shard work for fewer second rounds (exact)
+// or higher first-pass recall (ANN); correctness of the exact merge never
+// depends on them.
+const (
+	// gatherSlack widens the exact-mode first-round per-shard fetch beyond
+	// the ceil(k/n) a perfectly uniform score distribution would need, so
+	// mildly skewed lakes still finish in one round.
+	gatherSlack = 8
+	// annNominateSlack widens each shard's ANN nomination depth beyond its
+	// proportional ceil(Oversample*k/n) share, so the merged candidate pool
+	// keeps monolithic-grade recall even when one shard owns most of the
+	// true neighbours.
+	annNominateSlack = 4
+)
+
+// StageTimings accumulates per-stage wall time across sharded queries.
+// Attach one with Searcher.Instrument; all fields are atomic so concurrent
+// queries can share an accumulator. dustbench -shards reports these as
+// encode/scatter/gather milliseconds per query.
+type StageTimings struct {
+	// Queries counts the TopK queries recorded.
+	Queries atomic.Int64
+	// EncodeNS is nanoseconds spent preparing the query representation
+	// (the encode-once stage).
+	EncodeNS atomic.Int64
+	// ScatterNS is nanoseconds spent in per-shard fan-out work: local
+	// top-k retrieval rounds in exact mode, candidate nomination in ANN
+	// mode.
+	ScatterNS atomic.Int64
+	// GatherNS is nanoseconds spent merging: the k-way heap merge plus, in
+	// ANN mode, the single global exact-scoring pass over the merged pool.
+	GatherNS atomic.Int64
+}
+
+// scatterPool wraps the long-lived worker pool behind a shard family's
+// query scatter. The wrapper — and thus the pool — is shared by the
+// original searcher and every clone derived from it, so close must be
+// idempotent: whichever family member is closed first releases the
+// workers, later closes are no-ops.
+type scatterPool struct {
+	pool *par.Pool
+	once sync.Once
+}
+
+func newScatterPool(workers int) *scatterPool {
+	return &scatterPool{pool: par.NewPool(workers)}
+}
+
+func (p *scatterPool) close() { p.once.Do(p.pool.Close) }
 
 // Typed failures of the sharding layer.
 var (
@@ -109,11 +182,19 @@ type Searcher struct {
 	corpus  *tokenize.Corpus
 	workers int
 	mode    search.Mode
-	// Oversample sizes the per-shard gather: each shard returns its local
-	// top ceil(Oversample*k) for a top-k query before the merge re-rank.
-	// Exact mode needs only k per shard for a correct merge; the slack
-	// exists for ANN mode, where a wider local pool buys recall at the
-	// cost of more exact re-scoring.
+	// pool runs the query scatter. It is created at construction, shared
+	// with every clone (snapshot swaps reuse the same workers), and nil on
+	// query-bounded views, which scatter inline instead — a serving request
+	// must not pay goroutine spin-up, and must not leak pool workers.
+	pool *scatterPool
+	// timings, when non-nil, accumulates per-stage query wall time; see
+	// Instrument.
+	timings *StageTimings
+	// Oversample sizes the ANN candidate pool for a top-k query: the
+	// shards' nomination depths sum to about ceil(Oversample*k) before the
+	// single global exact re-score. Exact mode ignores it — the bounded
+	// gather derives its own per-shard limits, which correctness never
+	// lets exceed k.
 	Oversample float64
 }
 
@@ -162,6 +243,7 @@ func newSearcher(kind string, l *lake.Lake, n int, cfg Config) *Searcher {
 		sublakes:   Partition(l, n),
 		subs:       make([]search.Searcher, n),
 		workers:    cfg.Workers,
+		pool:       newScatterPool(cfg.Workers),
 		Oversample: search.DefaultOversample,
 	}
 }
@@ -248,6 +330,9 @@ func Assemble(full *lake.Lake, kind string, parts []Part, cfg Config) (*Searcher
 			sub.(*search.Starmie).AdoptSharedCorpus(s.corpus)
 		}
 	}
+	// The pool starts only once the layout is validated, so a rejected
+	// Assemble leaks no worker goroutines.
+	s.pool = newScatterPool(cfg.Workers)
 	s.mode = s.shardMode()
 	return s, nil
 }
@@ -308,58 +393,359 @@ func (s *Searcher) TopK(query *table.Table, k int) []search.Scored {
 	return out
 }
 
-// TopKContext implements search.ContextSearcher as scatter-gather: the
-// query fans out across every shard over a bounded par pool, each shard
-// answers with its local top ceil(Oversample*k) exactly-scored hits
-// (k <= 0 asks each shard for its full ranking), and the gather re-ranks
-// the union under the global (score desc, name asc) order — the same total
-// order the unsharded scorer applies, which with the shared corpus makes
-// the exact-mode merge bit-identical to an unsharded scan. Cancelling ctx
-// abandons the remaining shards and returns ctx.Err().
+// TopKContext implements search.ContextSearcher as prepared scatter-gather:
+// the query representation is derived exactly once (search.PreparedSearcher)
+// and fans out across every shard on the family's long-lived pool; the
+// gather merges the shards' exactly-scored answers under the global (score
+// desc, name asc) order — the same total order the unsharded scorer
+// applies, which with the shared corpus makes the exact-mode merge
+// bit-identical to an unsharded scan. Exact mode runs the bounded gather
+// (per-shard limits near k/n, a threshold-style second round only for
+// shards that might still matter); ANN mode runs the candidate-only plan
+// (shards nominate, one global exact re-score). k <= 0 asks for the full
+// ranking. Cancelling ctx abandons the remaining shards and returns
+// ctx.Err().
 func (s *Searcher) TopKContext(ctx context.Context, query *table.Table, k int) ([]search.Scored, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	subs, ok := s.preparedSubs()
+	if !ok {
+		// A shard kind without prepared-query support (none of the built-in
+		// kinds) still works: whole-query scatter at per-shard limit k.
+		return s.topKLegacy(ctx, query, k)
+	}
+	t0 := time.Now()
+	pq := subs[0].Prepare(query)
+	encodeNS := time.Since(t0).Nanoseconds()
+
+	var hits []search.Scored
+	var err error
+	if noms, ok := s.nominatorSubs(); ok && s.mode == search.ANN && k > 0 {
+		hits, err = s.topKANN(ctx, pq, noms, k)
+	} else {
+		hits, err = s.topKExact(ctx, pq, subs, k)
+	}
+	if s.timings != nil && err == nil {
+		s.timings.Queries.Add(1)
+		s.timings.EncodeNS.Add(encodeNS)
+	}
+	return hits, err
+}
+
+// preparedSubs returns every shard as a search.PreparedSearcher when the
+// whole set supports the encode-once scatter (both built-in kinds do).
+func (s *Searcher) preparedSubs() ([]search.PreparedSearcher, bool) {
+	out := make([]search.PreparedSearcher, len(s.subs))
+	for i, sub := range s.subs {
+		ps, ok := sub.(search.PreparedSearcher)
+		if !ok {
+			return nil, false
+		}
+		out[i] = ps
+	}
+	return out, true
+}
+
+// nominatorSubs returns every shard as a search.PreparedNominator when the
+// whole set supports the candidate-only ANN plan.
+func (s *Searcher) nominatorSubs() ([]search.PreparedNominator, bool) {
+	out := make([]search.PreparedNominator, len(s.subs))
+	for i, sub := range s.subs {
+		nom, ok := sub.(search.PreparedNominator)
+		if !ok {
+			return nil, false
+		}
+		out[i] = nom
+	}
+	return out, true
+}
+
+// runScatter runs fn(i) for i in [0, n) across the shard family's
+// long-lived pool, or inline via par.For on pool-less query-bounded views
+// (the serving path, where per-request goroutine spin-up is exactly the
+// fixed cost this layer removes). Shards are handed to the pool in
+// min(workers, n) contiguous chunks rather than one task per shard: extra
+// tasks beyond the worker count cannot add parallelism, but each one costs
+// an unbuffered-channel handoff (two context switches on a busy pool).
+// Pool tasks from concurrent queries share the worker bound but never
+// wait on each other (par.Pool.Run).
+func (s *Searcher) runScatter(n int, fn func(i int)) {
+	if s.pool == nil {
+		par.For(s.workers, n, fn)
+		return
+	}
+	chunks := par.Normalize(s.workers)
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	tasks := make([]func(), 0, chunks)
+	for lo := 0; lo < n; lo += size {
+		lo, hi := lo, lo+size
+		if hi > n {
+			hi = n
+		}
+		tasks = append(tasks, func() {
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		})
+	}
+	s.pool.pool.Run(tasks...)
+}
+
+// topKExact is the bounded gather. Round one asks every shard for its local
+// top limit = min(k, ceil(k/n)+gatherSlack) (exact mode with several
+// shards; otherwise limit = k). The merged top k is final for every shard
+// whose list was exhausted (shorter than limit) or whose last returned hit
+// ranks at or below the merged k-th — any unseen hit on such a shard ranks
+// strictly after that last hit, so it cannot displace the current top k.
+// Only the remaining "open" shards are re-fetched, at limit k, which closes
+// them for good: a shard that returned k hits cannot hold an unseen hit in
+// the global top k (its k seen hits would all have to rank above it,
+// overfilling the top k). One second round therefore always suffices, and
+// the result is bit-identical to an unsharded scan. k <= 0 requests the
+// full ranking from every shard in one round.
+func (s *Searcher) topKExact(ctx context.Context, pq search.PreparedQuery, subs []search.PreparedSearcher, k int) ([]search.Scored, error) {
+	n := len(subs)
 	limit := k
 	if k > 0 {
+		if s.mode == search.Exact && n > 1 {
+			if l := (k+n-1)/n + gatherSlack; l < k {
+				limit = l
+			}
+		} else if s.mode != search.Exact {
+			// ANN fallback (a shard kind that prepares but cannot nominate):
+			// per-shard candidate pools are approximate, so the threshold
+			// bound does not apply; keep the oversampled single round.
+			limit = int(math.Ceil(s.Oversample * float64(k)))
+		}
+	}
+	tScatter := time.Now()
+	hits := make([][]search.Scored, n)
+	errs := make([]error, n)
+	s.runScatter(n, func(i int) {
+		hits[i], errs[i] = subs[i].TopKPrepared(ctx, pq, limit)
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	scatterNS := time.Since(tScatter).Nanoseconds()
+
+	tGather := time.Now()
+	merged := mergeHits(hits, k)
+	gatherNS := time.Since(tGather).Nanoseconds()
+
+	if k > 0 && limit < k {
+		var open []int
+		for i, h := range hits {
+			if len(h) == limit && (len(merged) < k || hitLess(h[len(h)-1], merged[len(merged)-1])) {
+				open = append(open, i)
+			}
+		}
+		if len(open) > 0 {
+			t2 := time.Now()
+			more := make([][]search.Scored, len(open))
+			errs2 := make([]error, len(open))
+			s.runScatter(len(open), func(i int) {
+				more[i], errs2[i] = subs[open[i]].TopKPrepared(ctx, pq, k)
+			})
+			if err := errors.Join(errs2...); err != nil {
+				return nil, err
+			}
+			scatterNS += time.Since(t2).Nanoseconds()
+			t3 := time.Now()
+			for i, o := range open {
+				hits[o] = more[i]
+			}
+			merged = mergeHits(hits, k)
+			gatherNS += time.Since(t3).Nanoseconds()
+		}
+	}
+	if s.timings != nil {
+		s.timings.ScatterNS.Add(scatterNS)
+		s.timings.GatherNS.Add(gatherNS)
+	}
+	return merged, nil
+}
+
+// topKANN is the candidate-only ANN plan: every shard nominates its local
+// candidates at depth ceil(Oversample*k/n)+annNominateSlack from its own
+// retrieval structure, and the single exact-scoring pass runs globally on
+// the merged pool — each candidate scored once by its owning shard's
+// scorer (the owner holds the candidate's indexed state). An empty global
+// pool (e.g. D3L's LSH finding no value overlap anywhere) falls back to
+// the exact path, mirroring the monolithic searchers' own fallback. The
+// final ranking sorts by the same (score desc, name asc) total order as
+// everywhere else, so results are deterministic for every worker count.
+func (s *Searcher) topKANN(ctx context.Context, pq search.PreparedQuery, noms []search.PreparedNominator, k int) ([]search.Scored, error) {
+	n := len(noms)
+	depth := int(math.Ceil(s.Oversample*float64(k)/float64(n))) + annNominateSlack
+
+	tScatter := time.Now()
+	nameLists := make([][]string, n)
+	errs := make([]error, n)
+	s.runScatter(n, func(i int) {
+		nameLists[i], errs[i] = noms[i].NominatePrepared(ctx, pq, depth)
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.timings != nil {
+		s.timings.ScatterNS.Add(time.Since(tScatter).Nanoseconds())
+	}
+
+	tGather := time.Now()
+	type cand struct {
+		t     *table.Table
+		owner int
+	}
+	var pool []cand
+	for i, names := range nameLists {
+		for _, name := range names {
+			// Shards partition the lake, so cross-shard duplicates cannot
+			// occur; a nominee unknown to its own sub-lake would be an
+			// index bug and is simply skipped.
+			if t := s.sublakes[i].Get(name); t != nil {
+				pool = append(pool, cand{t, i})
+			}
+		}
+	}
+	if len(pool) == 0 {
+		subs, _ := s.preparedSubs() // nominators are a superset of prepared
+		return s.topKExact(ctx, pq, subs, k)
+	}
+	scored := make([]search.Scored, len(pool))
+	if err := par.ForCtx(ctx, s.workers, len(pool), func(i int) {
+		scored[i] = search.Scored{
+			Table: pool[i].t,
+			Score: noms[pool[i].owner].ScorePrepared(pq, pool[i].t),
+		}
+	}); err != nil {
+		return nil, err
+	}
+	sort.Slice(scored, func(i, j int) bool { return hitLess(scored[i], scored[j]) })
+	if len(scored) > k {
+		scored = scored[:k]
+	}
+	if s.timings != nil {
+		s.timings.GatherNS.Add(time.Since(tGather).Nanoseconds())
+	}
+	return scored, nil
+}
+
+// topKLegacy is the whole-query scatter kept for shard kinds without
+// prepared-query support: every shard runs its own encode + local top-k at
+// per-shard limit k, and the gather merges. Exact-mode parity holds (each
+// shard's local top k always covers its share of the global top k); it
+// just pays the duplicated encoding the prepared path removes.
+func (s *Searcher) topKLegacy(ctx context.Context, query *table.Table, k int) ([]search.Scored, error) {
+	limit := k
+	if k > 0 && s.mode != search.Exact {
 		limit = int(math.Ceil(s.Oversample * float64(k)))
 	}
 	hits := make([][]search.Scored, len(s.subs))
 	errs := make([]error, len(s.subs))
-	pool := par.NewPool(s.workers)
-	defer pool.Close()
-	for i := range s.subs {
-		i := i
-		pool.Submit(func() {
-			hits[i], errs[i] = search.TopKCtx(ctx, s.subs[i], query, limit)
-		})
-	}
-	pool.Wait()
+	s.runScatter(len(s.subs), func(i int) {
+		hits[i], errs[i] = search.TopKCtx(ctx, s.subs[i], query, limit)
+	})
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
 	return mergeHits(hits, k), nil
 }
 
-// mergeHits is the gather stage: the union of the shards' local rankings,
-// re-ranked by (score desc, name asc) and truncated to k. Table names are
-// unique lake-wide, so the order is total and the merge deterministic for
-// every worker count and shard count.
+// hitLess is the global ranking order: score descending, table name
+// ascending. Table names are unique lake-wide, so the order is total and
+// every merge deterministic for every worker and shard count.
+func hitLess(a, b search.Scored) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Table.Name < b.Table.Name
+}
+
+// mergeHits is the gather stage: a k-way heap merge of the shards' local
+// rankings (each already sorted by hitLess) that stops after emitting k
+// hits. Unlike concatenate-and-sort it does O(k log n) comparisons and one
+// right-sized allocation instead of O(T log T) over the full union — the
+// merge cost no longer grows with the per-shard list lengths beyond the
+// hits actually consumed. k <= 0 merges everything.
 func mergeHits(hits [][]search.Scored, k int) []search.Scored {
-	var all []search.Scored
+	total := 0
+	heads := make([][]search.Scored, 0, len(hits))
 	for _, h := range hits {
-		all = append(all, h...)
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Score != all[j].Score {
-			return all[i].Score > all[j].Score
+		if len(h) > 0 {
+			heads = append(heads, h)
+			total += len(h)
 		}
-		return all[i].Table.Name < all[j].Table.Name
-	})
-	if k > 0 && len(all) > k {
-		all = all[:k]
 	}
-	return all
+	if len(heads) == 0 {
+		return nil
+	}
+	if len(heads) == 1 {
+		out := heads[0]
+		if k > 0 && len(out) > k {
+			out = out[:k]
+		}
+		return out
+	}
+	want := total
+	if k > 0 && k < want {
+		want = k
+	}
+	// A tiny hand-rolled binary min-heap over list heads; container/heap
+	// would box every cursor through an interface on each fix-up.
+	less := func(a, b []search.Scored) bool { return hitLess(a[0], b[0]) }
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			best := i
+			if l < len(heads) && less(heads[l], heads[best]) {
+				best = l
+			}
+			if r < len(heads) && less(heads[r], heads[best]) {
+				best = r
+			}
+			if best == i {
+				return
+			}
+			heads[i], heads[best] = heads[best], heads[i]
+			i = best
+		}
+	}
+	for i := len(heads)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	out := make([]search.Scored, 0, want)
+	for len(out) < want {
+		out = append(out, heads[0][0])
+		if rest := heads[0][1:]; len(rest) > 0 {
+			heads[0] = rest
+		} else {
+			heads[0] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+			if len(heads) == 1 {
+				// One list left: it is already sorted — bulk-append the
+				// remainder without heap traffic.
+				need := want - len(out)
+				if need > len(heads[0]) {
+					need = len(heads[0])
+				}
+				out = append(out, heads[0][:need]...)
+				break
+			}
+			if len(heads) == 0 {
+				break
+			}
+		}
+		siftDown(0)
+	}
+	return out
 }
 
 // SetMode implements search.Staged by fanning the mode to every shard:
@@ -521,10 +907,14 @@ func (s *Searcher) refreshOthers(mutated int) {
 
 // QueryWorkers implements search.QueryBounded: the returned searcher
 // shares every shard's immutable index and bounds both the scatter width
-// and each shard's scoring to n workers.
+// and each shard's scoring to n workers. The view drops the family pool
+// and scatters inline (par.For; fully sequential at n = 1) — a bounded
+// view exists to cap one request's parallelism, so it must neither borrow
+// the family's full-width pool nor spin up goroutines of its own.
 func (s *Searcher) QueryWorkers(n int) search.Searcher {
 	c := *s
 	c.workers = n
+	c.pool = nil
 	c.subs = make([]search.Searcher, len(s.subs))
 	for i, sub := range s.subs {
 		if qb, ok := sub.(search.QueryBounded); ok {
@@ -536,12 +926,31 @@ func (s *Searcher) QueryWorkers(n int) search.Searcher {
 	return &c
 }
 
+// Instrument attaches a per-stage timing accumulator to this searcher (nil
+// detaches). Views and clones created before the call keep their previous
+// accumulator. Not synchronized with in-flight queries — attach before
+// querying starts.
+func (s *Searcher) Instrument(st *StageTimings) { s.timings = st }
+
+// Close releases the scatter pool's worker goroutines. The pool is shared
+// by every clone in the searcher's family, so call Close once the whole
+// family is done serving — dust.Pipeline.Close does this at pipeline
+// teardown — not per snapshot clone. Close is idempotent across the
+// family; queries on any family member after Close panic.
+func (s *Searcher) Close() {
+	if s.pool != nil {
+		s.pool.close()
+	}
+}
+
 // CloneWithLake implements search.Cloner for snapshot-swapped serving: l
 // must be a clone of the full lake holding the same table set. Every shard
 // clones against a clone of its own sub-lake (heavy embedding state stays
 // shared, per the sub-searchers' Clone contracts), and the Starmie shards
 // are rebound to a single clone of the shared corpus so the new shard set
-// again owns exactly one global TF-IDF state.
+// again owns exactly one global TF-IDF state. The clone keeps the family's
+// scatter pool — snapshot swaps must not churn worker goroutines — so
+// Close applies family-wide (see Close).
 func (s *Searcher) CloneWithLake(l *lake.Lake) search.Searcher {
 	c := *s
 	c.full = l
