@@ -34,7 +34,7 @@ import (
 
 func main() {
 	exported := flag.String("exported",
-		".,internal/serve,internal/shard",
+		".,internal/obs,internal/serve,internal/shard",
 		"comma-separated package dirs (relative to root) whose exported symbols must all be documented")
 	flag.Parse()
 	root := "."

@@ -19,12 +19,20 @@
 //	     'localhost:8080/search?k=10'
 //	curl -X PUT -H 'Content-Type: text/csv' --data-binary @new_table.csv \
 //	     localhost:8080/tables/new_table
+//	curl localhost:8080/metrics
+//
+// Observability: GET /metrics serves Prometheus text exposition,
+// -log-requests writes one JSON line per request to stderr, and
+// -pprof-addr serves net/http/pprof on a separate (typically
+// loopback-only) listener. See docs/OPERATIONS.md for the full
+// reference.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -49,6 +57,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request budget (0 disables)")
 		ann       = flag.Bool("ann", false, "approximate candidate retrieval (HNSW) with exact re-ranking; the graph persists in -index-dir and follows live table mutations. -ann=false forces exact retrieval even for an index saved in ANN mode; omit the flag to follow the saved index")
 		shards    = flag.Int("shards", 1, "partition the index into N scatter-gather shards (1 = monolithic); table mutations route to the owning shard and exact-mode results are identical either way. Applies to cold builds only: a warm start keeps the layout saved in -index-dir")
+		logReqs   = flag.Bool("log-requests", false, "log one JSON line per request to stderr (method, endpoint, status, duration, cache outcome, per-stage search timings)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	)
 	flag.Parse()
 	if *lakeDir == "" {
@@ -108,12 +118,35 @@ func main() {
 		}
 	}
 
-	srv := serve.New(p,
+	sopts := []serve.Option{
 		serve.WithCacheCapacity(*cacheCap),
 		serve.WithMaxInFlight(*inflight),
 		serve.WithQueryWorkers(*queryWk),
 		serve.WithTimeout(*timeout),
-	)
+	}
+	if *logReqs {
+		sopts = append(sopts, serve.WithRequestLog(os.Stderr))
+	}
+	srv := serve.New(p, sopts...)
+
+	// Profiling stays off the serving listener: exposing pprof is opt-in
+	// and on its own (typically loopback-only) address.
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			ps := &http.Server{Addr: *pprofAddr, Handler: pm, ReadHeaderTimeout: 10 * time.Second}
+			if err := ps.ListenAndServe(); err != nil {
+				fmt.Fprintln(os.Stderr, "dustserve: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof: serving on %s\n", *pprofAddr)
+	}
+
 	fmt.Printf("dustserve: serving %s on %s\n", l.Name, *addr)
 	hs := &http.Server{
 		Addr:              *addr,

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"dust/internal/align"
 	"dust/internal/diversify"
@@ -235,7 +236,11 @@ func (p *Pipeline) SearchContext(ctx context.Context, query *table.Table, k int)
 		return nil, fmt.Errorf("dust: alignment produced no unionable tuples for %s", query.Name)
 	}
 
-	// Line 7: embed query and data lake tuples, in parallel batches.
+	// Line 7: embed query and data lake tuples, in parallel batches. The
+	// tuple embedding joins the query encoding under the trace's encode
+	// stage: both derive representations, neither retrieves or ranks.
+	tr := search.TraceFrom(ctx)
+	tEmbed := time.Now()
 	eq, err := model.EncodeBatchContext(ctx, p.tupleEnc, headers, tableRows(query), p.workers)
 	if err != nil {
 		return nil, fmt.Errorf("dust: embed: %w", err)
@@ -244,6 +249,7 @@ func (p *Pipeline) SearchContext(ctx context.Context, query *table.Table, k int)
 	if err != nil {
 		return nil, fmt.Errorf("dust: embed: %w", err)
 	}
+	tr.AddEncode(tEmbed)
 	groups := make([]int, unioned.NumRows())
 	groupIDs := map[string]int{}
 	for i := range groups {
@@ -259,10 +265,12 @@ func (p *Pipeline) SearchContext(ctx context.Context, query *table.Table, k int)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("dust: diversify: %w", err)
 	}
+	tDiv := time.Now()
 	idx := p.diversifier.Select(diversify.Problem{
 		Query: eq, Tuples: et, Groups: groups, K: k, Dist: p.dist,
 		Workers: p.workers,
 	})
+	tr.AddDiversify(tDiv)
 
 	out := table.New(query.Name+"_diverse", headers...)
 	outProv := make([]table.Provenance, 0, len(idx))
@@ -364,6 +372,38 @@ func (p *Pipeline) Close() {
 	if c, ok := p.searcher.(interface{ Close() }); ok {
 		c.Close()
 	}
+}
+
+// ShardSizes reports the per-shard table counts of a sharded searcher in
+// shard order, or nil for a monolithic index. Serving layers expose the
+// partition balance through it without reaching into the shard layout.
+func (p *Pipeline) ShardSizes() []int {
+	st, ok := p.searcher.(interface{ ShardTables() [][]string })
+	if !ok {
+		return nil
+	}
+	tables := st.ShardTables()
+	sizes := make([]int, len(tables))
+	for i, names := range tables {
+		sizes[i] = len(names)
+	}
+	return sizes
+}
+
+// InstrumentScatter attaches st to the pipeline's sharded searcher so the
+// scatter path accumulates per-stage (encode/scatter/gather) wall time into
+// it, and reports whether the searcher supports the hook (monolithic
+// searchers do not; the call is then a no-op returning false). Views and
+// clones derived from the pipeline after the call — snapshot swaps included
+// — keep recording into the same accumulator. Attach before querying
+// starts; the hook is not synchronized with in-flight queries.
+func (p *Pipeline) InstrumentScatter(st *shard.StageTimings) bool {
+	in, ok := p.searcher.(interface{ Instrument(*shard.StageTimings) })
+	if !ok {
+		return false
+	}
+	in.Instrument(st)
+	return true
 }
 
 // tableRows collects a table's rows for batch encoding.

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"dust/internal/embed"
 	"dust/internal/lake"
@@ -316,7 +317,10 @@ func (d *D3L) TopKContext(ctx context.Context, query *table.Table, k int) ([]Sco
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return d.TopKPrepared(ctx, d.Prepare(query), k)
+	t0 := time.Now()
+	pq := d.Prepare(query)
+	TraceFrom(ctx).AddEncode(t0)
+	return d.TopKPrepared(ctx, pq, k)
 }
 
 // TopKPrepared implements PreparedSearcher: TopKContext minus the signal
@@ -329,6 +333,8 @@ func (d *D3L) TopKPrepared(ctx context.Context, pq PreparedQuery, k int) ([]Scor
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tr := TraceFrom(ctx)
+	t0 := time.Now()
 	cands := d.lake.Tables()
 	if d.mode == ANN && k > 0 {
 		// The prepared signatures serve double duty: the value-overlap
@@ -346,9 +352,15 @@ func (d *D3L) TopKPrepared(ctx context.Context, pq PreparedQuery, k int) ([]Scor
 			}
 		}
 	}
-	return rankTablesCtx(ctx, cands, k, d.workers, func(t *table.Table) float64 {
+	tr.AddRetrieve(t0)
+	t0 = time.Now()
+	out, err := rankTablesCtx(ctx, cands, k, d.workers, func(t *table.Table) float64 {
 		return d.scorePrepared(p, t)
 	})
+	if err == nil {
+		tr.AddScore(t0)
+	}
+	return out, err
 }
 
 // scorePrepared is the exact five-signal table score under a prepared

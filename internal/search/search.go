@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"dust/internal/ann"
 	"dust/internal/datagen"
@@ -187,6 +189,77 @@ func TopKCtx(ctx context.Context, s Searcher, query *table.Table, k int) ([]Scor
 		return nil, err
 	}
 	return s.TopK(query, k), nil
+}
+
+// Trace accumulates the per-stage wall time of one query through the
+// staged plan: encode (query representation + tuple embedding), retrieve
+// (candidate generation), score (exact ranking of the candidates), and
+// diversify (filled by the dust pipeline). Fields are atomic so a sharded
+// scatter can record from concurrent goroutines; a Trace travels with the
+// request via WithTrace, and searchers that find one in their context add
+// their stage costs to it. Serving layers turn the totals into latency
+// histograms and per-request log fields.
+type Trace struct {
+	// EncodeNS is nanoseconds spent deriving representations: the query's
+	// prepared form here, plus tuple embedding in the dust pipeline.
+	EncodeNS atomic.Int64
+	// RetrieveNS is nanoseconds spent generating candidates (the exact
+	// scan's table listing, ANN lookups, or the sharded scatter).
+	RetrieveNS atomic.Int64
+	// ScoreNS is nanoseconds spent exactly scoring and ranking candidates
+	// (the sharded gather's merge and global re-score included).
+	ScoreNS atomic.Int64
+	// DiversifyNS is nanoseconds spent in the diversification stage; the
+	// search layer never writes it, the dust pipeline does.
+	DiversifyNS atomic.Int64
+}
+
+// AddEncode adds the wall time since start to the encode stage. A nil
+// Trace is a no-op, as for all the Add helpers, so untraced queries cost
+// call sites nothing but the time.Now.
+func (tr *Trace) AddEncode(start time.Time) {
+	if tr != nil {
+		tr.EncodeNS.Add(time.Since(start).Nanoseconds())
+	}
+}
+
+// AddRetrieve adds the wall time since start to the retrieve stage.
+func (tr *Trace) AddRetrieve(start time.Time) {
+	if tr != nil {
+		tr.RetrieveNS.Add(time.Since(start).Nanoseconds())
+	}
+}
+
+// AddScore adds the wall time since start to the score stage.
+func (tr *Trace) AddScore(start time.Time) {
+	if tr != nil {
+		tr.ScoreNS.Add(time.Since(start).Nanoseconds())
+	}
+}
+
+// AddDiversify adds the wall time since start to the diversify stage.
+func (tr *Trace) AddDiversify(start time.Time) {
+	if tr != nil {
+		tr.DiversifyNS.Add(time.Since(start).Nanoseconds())
+	}
+}
+
+// traceKey keys a *Trace in a context.
+type traceKey struct{}
+
+// WithTrace returns a context carrying tr: staged searchers below the call
+// record their per-stage wall time into it. Passing nil masks any outer
+// trace — the sharded coordinator uses that so its sub-searchers do not
+// double-count stages the coordinator itself reports.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// TraceFrom returns the Trace carried by ctx, or nil when the query is
+// untraced.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
 }
 
 // PreparedQuery is a query's encoded representation — column embeddings,

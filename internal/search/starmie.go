@@ -6,6 +6,7 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"time"
 
 	"dust/internal/ann"
 	"dust/internal/embed"
@@ -490,7 +491,10 @@ func (s *Starmie) TopKContext(ctx context.Context, query *table.Table, k int) ([
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return s.TopKPrepared(ctx, s.Prepare(query), k)
+	t0 := time.Now()
+	pq := s.Prepare(query)
+	TraceFrom(ctx).AddEncode(t0)
+	return s.TopKPrepared(ctx, pq, k)
 }
 
 // TopKPrepared implements PreparedSearcher: TopKContext minus the query
@@ -503,13 +507,21 @@ func (s *Starmie) TopKPrepared(ctx context.Context, pq PreparedQuery, k int) ([]
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tr := TraceFrom(ctx)
+	t0 := time.Now()
 	cands, err := s.candidates(ctx, p.cols, k)
 	if err != nil {
 		return nil, err
 	}
-	return rankTablesCtx(ctx, cands, k, s.workers, func(t *table.Table) float64 {
+	tr.AddRetrieve(t0)
+	t0 = time.Now()
+	out, err := rankTablesCtx(ctx, cands, k, s.workers, func(t *table.Table) float64 {
 		return s.Score(p.cols, t)
 	})
+	if err == nil {
+		tr.AddScore(t0)
+	}
+	return out, err
 }
 
 // NominatePrepared implements PreparedNominator: the depth nearest column

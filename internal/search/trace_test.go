@@ -1,0 +1,73 @@
+package search
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("empty context yielded a trace")
+	}
+	tr := &Trace{}
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace did not round-trip through the context")
+	}
+	// A nil trace masks an outer one — the shard coordinator uses this so
+	// sub-searchers below it do not double-count stages it records itself.
+	if TraceFrom(WithTrace(ctx, nil)) != nil {
+		t.Fatal("nil trace did not mask the outer trace")
+	}
+}
+
+func TestTraceAddHelpers(t *testing.T) {
+	// All Add helpers are nil-safe: untraced queries pay nothing.
+	var nilTr *Trace
+	nilTr.AddEncode(time.Now())
+	nilTr.AddRetrieve(time.Now())
+	nilTr.AddScore(time.Now())
+	nilTr.AddDiversify(time.Now())
+
+	tr := &Trace{}
+	start := time.Now().Add(-time.Millisecond)
+	tr.AddEncode(start)
+	tr.AddRetrieve(start)
+	tr.AddScore(start)
+	tr.AddDiversify(start)
+	for name, got := range map[string]int64{
+		"encode":    tr.EncodeNS.Load(),
+		"retrieve":  tr.RetrieveNS.Load(),
+		"score":     tr.ScoreNS.Load(),
+		"diversify": tr.DiversifyNS.Load(),
+	} {
+		if got < time.Millisecond.Nanoseconds() {
+			t.Fatalf("%s stage recorded %dns, want >= 1ms", name, got)
+		}
+	}
+	// Adds accumulate rather than overwrite.
+	before := tr.EncodeNS.Load()
+	tr.AddEncode(time.Now().Add(-time.Millisecond))
+	if tr.EncodeNS.Load() <= before {
+		t.Fatal("second AddEncode did not accumulate")
+	}
+}
+
+func TestTracePopulatedByStagedSearch(t *testing.T) {
+	b := ctxLake()
+	s := NewStarmie(b.Lake)
+	tr := &Trace{}
+	if _, err := s.TopKContext(WithTrace(context.Background(), tr), b.Queries[0], 3); err != nil {
+		t.Fatal(err)
+	}
+	if tr.EncodeNS.Load() <= 0 {
+		t.Fatal("staged search recorded no encode time")
+	}
+	if tr.RetrieveNS.Load() <= 0 {
+		t.Fatal("staged search recorded no retrieve time")
+	}
+	if tr.ScoreNS.Load() <= 0 {
+		t.Fatal("staged search recorded no score time")
+	}
+}

@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dust"
+)
+
+// postBody posts body to url with the given content type and returns the
+// response plus its drained body.
+func postBody(t *testing.T, method, url, contentType, body string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestStatusCodeContract pins the error contract of the mutating and
+// searching endpoints: the right status per failure class, and every
+// non-2xx body a JSON object with a non-empty error field.
+func TestStatusCodeContract(t *testing.T) {
+	_, ts, b := newTestServer(t, WithMaxBodyBytes(1024))
+	existing := b.Lake.Tables()[0].Name
+	bigJSON := fmt.Sprintf(`{"query":{"headers":["a"],"rows":[["%s"]]},"k":3}`,
+		strings.Repeat("x", 4096))
+	bigCSV := "a,b\n" + strings.Repeat("xxxx,yyyy\n", 512)
+
+	cases := []struct {
+		name        string
+		method      string
+		path        string
+		contentType string
+		body        string
+		status      int
+		wantSubstr  string
+	}{
+		{"search json over cap", "POST", "/search", "application/json",
+			bigJSON, http.StatusRequestEntityTooLarge, "1024-byte cap"},
+		{"search csv over cap", "POST", "/search", "text/csv",
+			bigCSV, http.StatusRequestEntityTooLarge, "1024-byte cap"},
+		{"put csv over cap", "PUT", "/tables/newt", "text/csv",
+			bigCSV, http.StatusRequestEntityTooLarge, "1024-byte cap"},
+		{"put json over cap", "PUT", "/tables/newt", "application/json",
+			fmt.Sprintf(`{"headers":["a"],"rows":[["%s"]]}`, strings.Repeat("x", 4096)),
+			http.StatusRequestEntityTooLarge, "1024-byte cap"},
+		{"search malformed json", "POST", "/search", "application/json",
+			`{"query": {`, http.StatusBadRequest, "bad request body"},
+		{"put malformed csv names cause", "PUT", "/tables/newt", "text/csv",
+			"a,b\n\"unterminated", http.StatusBadRequest, "bad csv body: "},
+		{"put empty csv body", "PUT", "/tables/newt", "text/csv",
+			"", http.StatusBadRequest, "empty csv body"},
+		{"put duplicate table", "PUT", "/tables/" + existing, "application/json",
+			`{"headers":["a"],"rows":[["1"]]}`, http.StatusConflict, "already in the lake"},
+		{"delete missing table", "DELETE", "/tables/no-such-table", "application/json",
+			"", http.StatusNotFound, "no table"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postBody(t, tc.method, ts.URL+tc.path, tc.contentType, tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, tc.status, body)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("error content type %q, want application/json", ct)
+			}
+			var e errorJSON
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Fatalf("error body %q not JSON with error field: %v", body, err)
+			}
+			if !strings.Contains(e.Error, tc.wantSubstr) {
+				t.Fatalf("error %q missing %q", e.Error, tc.wantSubstr)
+			}
+		})
+	}
+}
+
+// TestRejectedVsCanceled pins the accounting split at admission: a request
+// shed by the server-side deadline counts as rejected, a client that goes
+// away while parked counts as canceled, and /stats reports both.
+func TestRejectedVsCanceled(t *testing.T) {
+	srv, ts, b := newTestServer(t,
+		WithMaxInFlight(1), WithTimeout(150*time.Millisecond), WithCacheCapacity(0))
+	body := searchBody(t, b.Queries[0], 3)
+
+	// Occupy the only slot so every search parks at admission.
+	srv.sem <- struct{}{}
+	defer func() { <-srv.sem }()
+
+	// Server-side deadline fires while parked: 503, rejected++.
+	resp, err := http.Post(ts.URL+"/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated status %d, want 503", resp.StatusCode)
+	}
+	if got := srv.rejected.Load(); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+	if got := srv.canceled.Load(); got != 0 {
+		t.Fatalf("canceled = %d, want 0 after deadline shed", got)
+	}
+
+	// Client disconnects while parked: canceled++, rejected unchanged.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/search", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("canceled request unexpectedly got a response")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.canceled.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.canceled.Load(); got != 1 {
+		t.Fatalf("canceled = %d, want 1", got)
+	}
+	if got := srv.rejected.Load(); got != 1 {
+		t.Fatalf("rejected = %d, want still 1", got)
+	}
+
+	var st statsResponse
+	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Rejected != 1 || st.Canceled != 1 {
+		t.Fatalf("stats rejected=%d canceled=%d, want 1 and 1", st.Rejected, st.Canceled)
+	}
+}
+
+// sampleLine matches one Prometheus text-format sample.
+var sampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9+].*|NaN)$`)
+
+// scrapeMetrics GETs /metrics, checks the content type, and returns the
+// exposition text.
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestMetricsExposition drives a miss then a hit through /search and pins
+// the exposed samples: request counters and latency histograms advance and
+// split by cache outcome, stage histograms record served searches only,
+// and every line parses as Prometheus text format.
+func TestMetricsExposition(t *testing.T) {
+	_, ts, b := newTestServer(t)
+	body := searchBody(t, b.Queries[0], 3)
+	if resp, _ := postSearch(t, ts.URL, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("miss search status %d", resp.StatusCode)
+	}
+	if resp, out := postSearch(t, ts.URL, body); resp.StatusCode != http.StatusOK || !out.Cached {
+		t.Fatalf("hit search status %d cached %v", resp.StatusCode, out.Cached)
+	}
+
+	text := scrapeMetrics(t, ts.URL)
+	for _, want := range []string{
+		`dust_http_requests_total{endpoint="/search",class="2xx"} 2`,
+		`dust_http_request_seconds_count{endpoint="/search",cache="miss",class="2xx"} 1`,
+		`dust_http_request_seconds_count{endpoint="/search",cache="hit",class="2xx"} 1`,
+		`dust_search_stage_seconds_count{stage="encode"} 1`,
+		`dust_search_stage_seconds_count{stage="retrieve"} 1`,
+		`dust_search_stage_seconds_count{stage="score"} 1`,
+		`dust_search_stage_seconds_count{stage="diversify"} 1`,
+		`dust_admission_wait_seconds_count 1`,
+		`dust_searches_total 2`,
+		`dust_cache_hits_total 1`,
+		`dust_cache_misses_total 1`,
+		`dust_in_flight 0`,
+		`dust_epoch 0`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Every line must be a HELP/TYPE comment or a well-formed sample, and
+	// every sample's family must have been announced by a TYPE comment.
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			typed[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count")
+		if !typed[family] && !typed[name] {
+			t.Fatalf("sample %q has no TYPE comment", name)
+		}
+	}
+}
+
+// TestMetricsSharded checks the scatter-stage families that exist only for
+// a sharded pipeline: the serve layer's accumulator sees the shard path's
+// queries and per-shard lake sizes are exported.
+func TestMetricsSharded(t *testing.T) {
+	b := fixedLake()
+	p := dust.New(b.Lake, dust.WithTopTables(5), dust.WithShards(2))
+	srv := New(p)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	if resp, _ := postSearch(t, ts.URL, searchBody(t, b.Queries[0], 3)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d", resp.StatusCode)
+	}
+	if got := srv.scatterTimings().Queries.Load(); got < 1 {
+		t.Fatalf("scatter accumulator saw %d queries, want >= 1", got)
+	}
+	text := scrapeMetrics(t, ts.URL)
+	for _, want := range []string{
+		"dust_scatter_queries_total ",
+		`dust_scatter_stage_seconds_total{stage="scatter"} `,
+		`dust_shard_tables{shard="0"} `,
+		`dust_shard_tables{shard="1"} `,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("sharded exposition missing %q", want)
+		}
+	}
+}
+
+// lockedBuffer is a goroutine-safe log sink for tests.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRequestLog pins the structured request-log schema: one JSON line per
+// request, stage timings on served searches, no search-only fields on
+// other endpoints.
+func TestRequestLog(t *testing.T) {
+	var sink lockedBuffer
+	_, ts, b := newTestServer(t, WithRequestLog(&sink))
+	body := searchBody(t, b.Queries[0], 3)
+	postSearch(t, ts.URL, body) // miss
+	postSearch(t, ts.URL, body) // hit
+	getJSON(t, ts.URL+"/stats", nil)
+
+	lines := strings.Split(strings.TrimSpace(sink.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d log lines, want 3: %q", len(lines), lines)
+	}
+	var miss, hit, stats requestLogLine
+	for i, dst := range []*requestLogLine{&miss, &hit, &stats} {
+		if err := json.Unmarshal([]byte(lines[i]), dst); err != nil {
+			t.Fatalf("log line %d not JSON: %v (%s)", i, err, lines[i])
+		}
+	}
+	if miss.Endpoint != "/search" || miss.Status != 200 || miss.Cache != "miss" ||
+		miss.K != 3 || miss.Epoch == nil || miss.Stages == nil {
+		t.Fatalf("miss line wrong: %+v", miss)
+	}
+	if miss.Stages.Encode <= 0 {
+		t.Fatalf("miss line has no encode time: %+v", miss.Stages)
+	}
+	if hit.Cache != "hit" || hit.Stages != nil {
+		t.Fatalf("hit line wrong: %+v", hit)
+	}
+	if stats.Endpoint != "/stats" || stats.Cache != "" || stats.Epoch != nil || stats.Stages != nil {
+		t.Fatalf("stats line wrong: %+v", stats)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, miss.Time); err != nil {
+		t.Fatalf("log timestamp %q: %v", miss.Time, err)
+	}
+}
+
+// TestWriteJSONFallbackIsJSON pins the encode-failure path of writeJSON:
+// even when the response value cannot be marshaled, the body must honor
+// the errorJSON contract rather than fall back to text/plain.
+func TestWriteJSONFallbackIsJSON(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]any{"bad": make(chan int)})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("fallback status %d, want 500", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("fallback content type %q, want application/json", ct)
+	}
+	var e errorJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Fatalf("fallback body %q not errorJSON: %v", rec.Body.String(), err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"dust/internal/lake"
 	"dust/internal/par"
 	"dust/internal/search"
+	"dust/internal/shard"
 	"dust/internal/table"
 )
 
@@ -27,7 +28,7 @@ import (
 const DefaultK = 10
 
 // DefaultMaxBodyBytes caps request bodies (64 MiB): a stray multi-gigabyte
-// upload must fail with 400, not buffer into the long-running server's
+// upload must fail with 413, not buffer into the long-running server's
 // heap.
 const DefaultMaxBodyBytes = 64 << 20
 
@@ -42,6 +43,7 @@ const DefaultMaxBodyBytes = 64 << 20
 //	DELETE /tables/{name}  remove a table from the lake and live index
 //	GET    /stats          cache/admission/lake counters
 //	GET    /healthz        liveness + current epoch
+//	GET    /metrics        Prometheus text exposition (see docs/OPERATIONS.md)
 type Server struct {
 	snap  atomic.Pointer[Snapshot]
 	mu    sync.Mutex // serializes mutations: clone -> apply -> swap
@@ -55,7 +57,14 @@ type Server struct {
 
 	searches  atomic.Uint64 // successfully served, cached or not
 	mutations atomic.Uint64
-	rejected  atomic.Uint64 // admission/timeout/pipeline failures
+	rejected  atomic.Uint64 // admission/deadline/pipeline failures
+	canceled  atomic.Uint64 // client went away mid-request
+	waiting   atomic.Int64  // searches parked at admission right now
+
+	metrics *serverMetrics
+	scatter *shard.StageTimings // shard-path stage accumulator, always non-nil
+	logw    io.Writer           // request log sink; nil disables logging
+	logmu   sync.Mutex          // serializes request-log writes
 
 	mux *http.ServeMux
 }
@@ -112,15 +121,22 @@ func New(p *dust.Pipeline, opts ...Option) *Server {
 	if s.sem == nil {
 		s.sem = make(chan struct{}, par.DefaultWorkers())
 	}
+	// Attach the scatter-stage accumulator before the first snapshot is
+	// published: pipeline clones copy the searcher by value, so the pointer
+	// installed here survives into every view and every future swap.
+	s.scatter = &shard.StageTimings{}
+	scatterOn := p.InstrumentScatter(s.scatter)
 	s.snap.Store(newSnapshot(p, s.queryWorkers))
+	s.metrics = newServerMetrics(s, scatterOn)
 
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /search", s.handleSearch)
-	s.mux.HandleFunc("GET /tables", s.handleListTables)
-	s.mux.HandleFunc("PUT /tables/{name}", s.handlePutTable)
-	s.mux.HandleFunc("DELETE /tables/{name}", s.handleDeleteTable)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /search", s.instrument("/search", s.handleSearch))
+	s.mux.HandleFunc("GET /tables", s.instrument("/tables", s.handleListTables))
+	s.mux.HandleFunc("PUT /tables/{name}", s.instrument("/tables/{name}", s.handlePutTable))
+	s.mux.HandleFunc("DELETE /tables/{name}", s.instrument("/tables/{name}", s.handleDeleteTable))
+	s.mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.metrics.reg)
 	return s
 }
 
@@ -219,8 +235,11 @@ func marshalJSON(v any) ([]byte, error) {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	body, err := marshalJSON(v)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+		// Even the encode-failure path honors the errorJSON contract:
+		// clients parse every non-2xx body as {"error": ...}, so the
+		// fallback must be JSON too, not http.Error's text/plain.
+		body, _ = marshalJSON(errorJSON{Error: "encode response: " + err.Error()})
+		status = http.StatusInternalServerError
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -229,6 +248,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func httpError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorJSON{Error: msg})
+}
+
+// bodyCapMessage returns the 413 message for err if it stems from the
+// request-body cap (http.MaxBytesReader), else "". The cap surfaces as a
+// read error deep inside whichever decoder was draining the body, so
+// callers must probe before classifying a decode failure as the client's
+// malformed input.
+func bodyCapMessage(err error) string {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return fmt.Sprintf("request body exceeds the %d-byte cap", mbe.Limit)
+	}
+	return ""
+}
+
+// decodeError maps a body-decode failure to its status and message:
+// 413 when the body cap was hit, 400 otherwise.
+func decodeError(err error) (int, string) {
+	if msg := bodyCapMessage(err); msg != "" {
+		return http.StatusRequestEntityTooLarge, msg
+	}
+	return http.StatusBadRequest, err.Error()
 }
 
 // decodeSearchRequest parses a /search body: JSON by default, or a raw
@@ -266,6 +307,11 @@ func decodeSearchRequest(r *http.Request) (*table.Table, int, error) {
 		return nil, 0, fmt.Errorf("bad request body: %w", err)
 	}
 	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		// A capped body also fails this probe; keep the cause so the
+		// handler reports 413, not a bogus trailing-data 400.
+		if err != nil && bodyCapMessage(err) != "" {
+			return nil, 0, err
+		}
 		return nil, 0, errors.New("trailing data after request body")
 	}
 	if k == 0 {
@@ -284,6 +330,8 @@ func decodeSearchRequest(r *http.Request) (*table.Table, int, error) {
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
+	info := infoFrom(ctx)
+	info.isSearch = true
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
@@ -291,7 +339,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	query, k, err := decodeSearchRequest(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		status, msg := decodeError(err)
+		info.errMsg = msg
+		httpError(w, status, msg)
 		return
 	}
 	switch {
@@ -310,42 +360,64 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// no matter how many swaps happen while the query runs.
 	snap := s.snap.Load()
 	key := cacheKey(queryFingerprint(query), k, snap.tag, snap.Epoch())
+	info.k, info.epoch = k, snap.Epoch()
 
 	// A cache hit is a map lookup plus a byte write — no pipeline work —
 	// so it is served before admission: a saturated server keeps answering
 	// cached traffic while shedding only queries that would cost compute.
 	if body, ok := s.cache.Get(key); ok {
 		s.searches.Add(1)
+		info.cache = "hit"
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(body)
 		return
 	}
+	info.cache = "miss"
 
 	// Admission: wait for an in-flight slot, but never past the request's
 	// deadline — a saturated server sheds load instead of queueing forever.
+	// A client that disconnects while parked is an abandonment (canceled),
+	// not load shedding (rejected); the two counters answer different
+	// operational questions.
+	waitStart := time.Now()
+	s.waiting.Add(1)
 	select {
 	case s.sem <- struct{}{}:
+		s.waiting.Add(-1)
+		s.metrics.admissionWait.With().Observe(time.Since(waitStart).Seconds())
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
-		s.rejected.Add(1)
-		httpError(w, http.StatusServiceUnavailable, "server saturated: "+ctx.Err().Error())
+		s.waiting.Add(-1)
+		if errors.Is(ctx.Err(), context.Canceled) {
+			s.canceled.Add(1)
+		} else {
+			s.rejected.Add(1)
+		}
+		msg := "server saturated: " + ctx.Err().Error()
+		info.errMsg = msg
+		httpError(w, http.StatusServiceUnavailable, msg)
 		return
 	}
 
-	res, err := snap.query.SearchContext(ctx, query, k)
+	tr := &search.Trace{}
+	res, err := snap.query.SearchContext(search.WithTrace(ctx, tr), query, k)
 	if err != nil {
-		s.rejected.Add(1)
+		info.errMsg = err.Error()
 		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			httpError(w, http.StatusGatewayTimeout, err.Error())
 		case errors.Is(err, context.Canceled):
 			// The client went away; the status is for logs only.
+			s.canceled.Add(1)
 			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, context.DeadlineExceeded):
+			s.rejected.Add(1)
+			httpError(w, http.StatusGatewayTimeout, err.Error())
 		default:
+			s.rejected.Add(1)
 			httpError(w, http.StatusUnprocessableEntity, err.Error())
 		}
 		return
 	}
+	info.trace = tr
 
 	prov := make([]provenanceJSON, len(res.Provenance))
 	for i, p := range res.Provenance {
@@ -421,8 +493,13 @@ func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
 	var tj tableJSON
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "text/csv") {
 		rec, err := csv.NewReader(r.Body).ReadAll()
-		if err != nil || len(rec) == 0 {
-			httpError(w, http.StatusBadRequest, "bad csv body")
+		if err != nil {
+			status, msg := decodeError(fmt.Errorf("bad csv body: %w", err))
+			httpError(w, status, msg)
+			return
+		}
+		if len(rec) == 0 {
+			httpError(w, http.StatusBadRequest, "empty csv body")
 			return
 		}
 		tj = tableJSON{Headers: rec[0], Rows: rec[1:]}
@@ -430,7 +507,8 @@ func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&tj); err != nil {
-			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			status, msg := decodeError(fmt.Errorf("bad request body: %w", err))
+			httpError(w, status, msg)
 			return
 		}
 	}
@@ -500,6 +578,7 @@ type statsResponse struct {
 	Searches  uint64 `json:"searches"`
 	Mutations uint64 `json:"mutations"`
 	Rejected  uint64 `json:"rejected"`
+	Canceled  uint64 `json:"canceled"`
 	InFlight  int    `json:"in_flight"`
 	MaxIn     int    `json:"max_in_flight"`
 	Cache     struct {
@@ -521,6 +600,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Searches:  s.searches.Load(),
 		Mutations: s.mutations.Load(),
 		Rejected:  s.rejected.Load(),
+		Canceled:  s.canceled.Load(),
 		InFlight:  len(s.sem),
 		MaxIn:     cap(s.sem),
 		ConfigTag: snap.tag,

@@ -214,17 +214,27 @@ func TestSearchErrorPaths(t *testing.T) {
 		})
 	}
 
-	// Oversized bodies are rejected, not buffered.
+	// Oversized bodies are rejected with 413 (not a bogus parse 400), and
+	// the message names the configured cap. The body must be valid JSON up
+	// to the cap so the failure can only come from the cap itself.
 	t.Run("body over cap", func(t *testing.T) {
 		_, bigTS, _ := newTestServer(t, WithMaxBodyBytes(1024))
-		resp, err := http.Post(bigTS.URL+"/search", "application/json",
-			bytes.NewReader(make([]byte, 4096)))
+		big := fmt.Sprintf(`{"query":{"headers":["a"],"rows":[["%s"]]},"k":3}`,
+			strings.Repeat("x", 4096))
+		resp, err := http.Post(bigTS.URL+"/search", "application/json", strings.NewReader(big))
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Fatalf("oversized body status %d, want 400", resp.StatusCode)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("oversized body status %d, want 413", resp.StatusCode)
+		}
+		var e errorJSON
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("413 body not JSON: %v", err)
+		}
+		if !strings.Contains(e.Error, "1024-byte cap") {
+			t.Fatalf("413 message %q does not name the cap", e.Error)
 		}
 	})
 

@@ -415,16 +415,27 @@ func (s *Searcher) TopKContext(ctx context.Context, query *table.Table, k int) (
 		// kinds) still works: whole-query scatter at per-shard limit k.
 		return s.topKLegacy(ctx, query, k)
 	}
+	// The coordinator owns the per-request trace: encode maps to the
+	// encode-once stage, scatter to retrieve, gather to score. Sub-searcher
+	// calls get a masked context so the shards' own stage recording does not
+	// double-count the same wall time.
+	tr := search.TraceFrom(ctx)
+	if tr != nil {
+		ctx = search.WithTrace(ctx, nil)
+	}
 	t0 := time.Now()
 	pq := subs[0].Prepare(query)
 	encodeNS := time.Since(t0).Nanoseconds()
+	if tr != nil {
+		tr.EncodeNS.Add(encodeNS)
+	}
 
 	var hits []search.Scored
 	var err error
 	if noms, ok := s.nominatorSubs(); ok && s.mode == search.ANN && k > 0 {
-		hits, err = s.topKANN(ctx, pq, noms, k)
+		hits, err = s.topKANN(ctx, pq, noms, k, tr)
 	} else {
-		hits, err = s.topKExact(ctx, pq, subs, k)
+		hits, err = s.topKExact(ctx, pq, subs, k, tr)
 	}
 	if s.timings != nil && err == nil {
 		s.timings.Queries.Add(1)
@@ -507,7 +518,7 @@ func (s *Searcher) runScatter(n int, fn func(i int)) {
 // overfilling the top k). One second round therefore always suffices, and
 // the result is bit-identical to an unsharded scan. k <= 0 requests the
 // full ranking from every shard in one round.
-func (s *Searcher) topKExact(ctx context.Context, pq search.PreparedQuery, subs []search.PreparedSearcher, k int) ([]search.Scored, error) {
+func (s *Searcher) topKExact(ctx context.Context, pq search.PreparedQuery, subs []search.PreparedSearcher, k int, tr *search.Trace) ([]search.Scored, error) {
 	n := len(subs)
 	limit := k
 	if k > 0 {
@@ -567,6 +578,10 @@ func (s *Searcher) topKExact(ctx context.Context, pq search.PreparedQuery, subs 
 		s.timings.ScatterNS.Add(scatterNS)
 		s.timings.GatherNS.Add(gatherNS)
 	}
+	if tr != nil {
+		tr.RetrieveNS.Add(scatterNS)
+		tr.ScoreNS.Add(gatherNS)
+	}
 	return merged, nil
 }
 
@@ -579,7 +594,7 @@ func (s *Searcher) topKExact(ctx context.Context, pq search.PreparedQuery, subs 
 // the exact path, mirroring the monolithic searchers' own fallback. The
 // final ranking sorts by the same (score desc, name asc) total order as
 // everywhere else, so results are deterministic for every worker count.
-func (s *Searcher) topKANN(ctx context.Context, pq search.PreparedQuery, noms []search.PreparedNominator, k int) ([]search.Scored, error) {
+func (s *Searcher) topKANN(ctx context.Context, pq search.PreparedQuery, noms []search.PreparedNominator, k int, tr *search.Trace) ([]search.Scored, error) {
 	n := len(noms)
 	depth := int(math.Ceil(s.Oversample*float64(k)/float64(n))) + annNominateSlack
 
@@ -595,8 +610,12 @@ func (s *Searcher) topKANN(ctx context.Context, pq search.PreparedQuery, noms []
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	scatterNS := time.Since(tScatter).Nanoseconds()
 	if s.timings != nil {
-		s.timings.ScatterNS.Add(time.Since(tScatter).Nanoseconds())
+		s.timings.ScatterNS.Add(scatterNS)
+	}
+	if tr != nil {
+		tr.RetrieveNS.Add(scatterNS)
 	}
 
 	tGather := time.Now()
@@ -617,7 +636,7 @@ func (s *Searcher) topKANN(ctx context.Context, pq search.PreparedQuery, noms []
 	}
 	if len(pool) == 0 {
 		subs, _ := s.preparedSubs() // nominators are a superset of prepared
-		return s.topKExact(ctx, pq, subs, k)
+		return s.topKExact(ctx, pq, subs, k, tr)
 	}
 	scored := make([]search.Scored, len(pool))
 	if err := par.ForCtx(ctx, s.workers, len(pool), func(i int) {
@@ -632,8 +651,12 @@ func (s *Searcher) topKANN(ctx context.Context, pq search.PreparedQuery, noms []
 	if len(scored) > k {
 		scored = scored[:k]
 	}
+	gatherNS := time.Since(tGather).Nanoseconds()
 	if s.timings != nil {
-		s.timings.GatherNS.Add(time.Since(tGather).Nanoseconds())
+		s.timings.GatherNS.Add(gatherNS)
+	}
+	if tr != nil {
+		tr.ScoreNS.Add(gatherNS)
 	}
 	return scored, nil
 }
