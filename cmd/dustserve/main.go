@@ -1,8 +1,11 @@
 // Command dustserve exposes a data lake as a long-running diverse-tuple
 // search service: snapshot-swapped live indexes (PUT/DELETE /tables mutate
 // the lake without blocking in-flight queries), a sharded LRU result cache
-// invalidated by epoch, bounded request admission, and per-request
-// timeouts.
+// invalidated by epoch and bounded by entries and bytes, bounded request
+// admission with optional cost-aware degradation (-degrade-threshold:
+// overloaded servers answer from the ANN view or shed with Retry-After),
+// background index maintenance (-maintenance-interval compacts tombstone
+// debt off the query path), and per-request timeouts.
 //
 // Usage:
 //
@@ -54,7 +57,11 @@ func main() {
 		queryWk   = flag.Int("query-workers", 1, "data parallelism inside each request")
 		inflight  = flag.Int("inflight", 0, "max concurrent searches (0 = all cores)")
 		cacheCap  = flag.Int("cache", 1024, "query-result cache capacity (0 disables)")
+		cacheBy   = flag.Int64("cache-bytes", 0, "query-result cache resident-byte cap (0 = entry bound only)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request budget (0 disables)")
+		degrade   = flag.Float64("degrade-threshold", 0, "load factor at which searches degrade to ANN retrieval (or shed with 503 + Retry-After when no ANN view exists); 0 disables cost-aware admission")
+		maintIvl  = flag.Duration("maintenance-interval", 0, "background index-maintenance period: compact tombstone-heavy indexes on a clone off the query path and swap (0 disables; mutations then compact inline past the rebuild threshold)")
+		maintFrac = flag.Float64("maintenance-threshold", serve.DefaultMaintenanceThreshold, "dead-entry fraction at which the maintainer compacts")
 		ann       = flag.Bool("ann", false, "approximate candidate retrieval (HNSW) with exact re-ranking; the graph persists in -index-dir and follows live table mutations. -ann=false forces exact retrieval even for an index saved in ANN mode; omit the flag to follow the saved index")
 		shards    = flag.Int("shards", 1, "partition the index into N scatter-gather shards (1 = monolithic); table mutations route to the owning shard and exact-mode results are identical either way. Applies to cold builds only: a warm start keeps the layout saved in -index-dir")
 		logReqs   = flag.Bool("log-requests", false, "log one JSON line per request to stderr (method, endpoint, status, duration, cache outcome, per-stage search timings)")
@@ -120,14 +127,24 @@ func main() {
 
 	sopts := []serve.Option{
 		serve.WithCacheCapacity(*cacheCap),
+		serve.WithCacheBytes(*cacheBy),
 		serve.WithMaxInFlight(*inflight),
 		serve.WithQueryWorkers(*queryWk),
 		serve.WithTimeout(*timeout),
+		serve.WithDegradeThreshold(*degrade),
+		serve.WithMaintenance(*maintIvl),
+		serve.WithMaintenanceThreshold(*maintFrac),
 	}
 	if *logReqs {
 		sopts = append(sopts, serve.WithRequestLog(os.Stderr))
 	}
 	srv := serve.New(p, sopts...)
+	if *degrade > 0 {
+		fmt.Printf("admission: degrade threshold %.2f\n", *degrade)
+	}
+	if *maintIvl > 0 {
+		fmt.Printf("maintenance: every %v past dead fraction %.2f\n", *maintIvl, *maintFrac)
+	}
 
 	// Profiling stays off the serving listener: exposing pprof is opt-in
 	// and on its own (typically loopback-only) address.

@@ -362,6 +362,102 @@ func (p *Pipeline) QueryBound(n int) *Pipeline {
 	return &c
 }
 
+// MaintenanceStats reports the tombstone debt of the searcher's mutable
+// index structures (HNSW graphs, LSH banding indexes), merged across
+// shards for sharded searchers; ok is false when the searcher does not
+// track maintenance state. A background maintainer watches it to decide
+// when a compaction pass (Compact on a Clone, then a snapshot swap) is
+// worth running.
+func (p *Pipeline) MaintenanceStats() (search.MaintenanceStats, bool) {
+	m, ok := p.searcher.(search.Maintainable)
+	if !ok {
+		return search.MaintenanceStats{}, false
+	}
+	return m.MaintenanceStats(), true
+}
+
+// SetAutoCompact toggles the searcher's inline compaction policy and
+// reports whether the searcher supports the hook. With auto compaction
+// off, AddTable/RemoveTable never rebuild index structures inline — the
+// threshold check that normally runs inside mutations moves behind this
+// policy hook — so mutations stay O(delta) and a maintenance layer
+// compacts on its own schedule via Compact.
+func (p *Pipeline) SetAutoCompact(on bool) bool {
+	m, ok := p.searcher.(search.Maintainable)
+	if !ok {
+		return false
+	}
+	m.SetAutoCompact(on)
+	return true
+}
+
+// Compact rebuilds the searcher's tombstoned index structures now,
+// reporting whether any work was done. Compaction preserves result
+// identity — a compacted pipeline ranks every query exactly like its
+// tombstoned self — and does not advance the epoch, so serving caches
+// keyed by (tag, epoch) stay valid across it. Not safe concurrently with
+// queries or mutations: run it on a Clone and swap, as
+// serve.WithMaintenance does.
+func (p *Pipeline) Compact() bool {
+	m, ok := p.searcher.(search.Maintainable)
+	if !ok {
+		return false
+	}
+	return m.Compact()
+}
+
+// ModeView returns a query-only pipeline view whose searcher runs under
+// retrieval mode m, sharing every piece of index state with the receiver;
+// ok is false when the searcher cannot produce the view (not Staged, or
+// the mode's backend is not installed — see PrepareANN). The view is for
+// querying only — never mutate it — and concurrent queries on view and
+// receiver are safe. A serving layer uses it to degrade individual
+// requests to ANN retrieval under load; the view's ConfigTag differs from
+// the receiver's (the searcher name carries the mode), so caches keyed by
+// tag never mix the two plans' results.
+func (p *Pipeline) ModeView(m search.Mode) (*Pipeline, bool) {
+	mv, ok := p.searcher.(search.ModeViewer)
+	if !ok {
+		return nil, false
+	}
+	v, ok := mv.ModeView(m)
+	if !ok {
+		return nil, false
+	}
+	c := *p
+	c.searcher = v
+	c.retrieval = m
+	return &c, true
+}
+
+// PrepareANN builds the searcher's approximate retrieval structures (the
+// HNSW graphs) without leaving the current retrieval mode, so that
+// ModeView(search.ANN) becomes available on an exact-mode pipeline. An
+// installed graph survives mode flips and keeps absorbing mutations, so
+// the preparation stays valid across the pipeline's life (clones
+// included). Reports whether the ANN view is now available; false for
+// searchers without a staged retrieval surface. Not safe concurrently
+// with queries — call before serving starts.
+func (p *Pipeline) PrepareANN() bool {
+	st, ok := p.searcher.(search.Staged)
+	if !ok {
+		return false
+	}
+	cur := st.RetrievalMode()
+	if cur == search.ANN {
+		return true
+	}
+	if err := st.SetMode(search.ANN); err != nil {
+		return false
+	}
+	if err := st.SetMode(cur); err != nil {
+		// cur came from RetrievalMode and always round-trips.
+		panic(err)
+	}
+	_, ok = p.ModeView(search.ANN)
+	return ok
+}
+
 // Close releases long-lived resources held by the pipeline's searcher —
 // today, the sharded searcher's scatter worker pool, which is shared by
 // every clone in its family (snapshot swaps reuse it). Call Close once the

@@ -116,6 +116,10 @@ type Index struct {
 	byKey   map[string][]int // external key -> ids (for removal)
 	removed []bool           // id -> tombstoned
 	dead    int
+	// manualCompact suppresses the automatic compaction inside Remove: a
+	// maintenance layer that owns compaction (SetAutoCompact(false)) calls
+	// Compact itself, off the mutation path.
+	manualCompact bool
 }
 
 // NewIndex creates an LSH index with the given number of bands; the hasher
@@ -176,10 +180,39 @@ func (idx *Index) Remove(key string) int {
 			idx.dead++
 		}
 	}
-	if idx.dead > len(idx.keys)-idx.dead {
+	if !idx.manualCompact && idx.dead > len(idx.keys)-idx.dead {
 		idx.compact()
 	}
 	return len(ids)
+}
+
+// SetAutoCompact toggles the automatic compaction inside Remove. With auto
+// compaction off, tombstones accumulate until Compact is called — the mode a
+// background maintainer uses to keep mutations O(delta) and compact on its
+// own schedule.
+func (idx *Index) SetAutoCompact(on bool) { idx.manualCompact = !on }
+
+// Compact rebuilds the index without tombstoned entries, preserving the
+// survivors' insertion order (so queries are unaffected). It reports whether
+// there was anything to compact.
+func (idx *Index) Compact() bool {
+	if idx.dead == 0 {
+		return false
+	}
+	idx.compact()
+	return true
+}
+
+// Dead returns the number of tombstoned entries awaiting compaction.
+func (idx *Index) Dead() int { return idx.dead }
+
+// DeadFraction returns the tombstoned share of all slots (live + dead),
+// 0 for an empty index.
+func (idx *Index) DeadFraction() float64 {
+	if len(idx.keys) == 0 {
+		return 0
+	}
+	return float64(idx.dead) / float64(len(idx.keys))
 }
 
 // compact rebuilds the bucket lists without tombstoned ids, renumbering the
@@ -227,6 +260,8 @@ func (idx *Index) Clone() *Index {
 		byKey:   make(map[string][]int, len(idx.byKey)),
 		removed: make([]bool, len(idx.removed)),
 		dead:    idx.dead,
+
+		manualCompact: idx.manualCompact,
 	}
 	copy(c.keys, idx.keys)
 	copy(c.sigs, idx.sigs)

@@ -221,6 +221,38 @@ func (d *D3L) QueryWorkers(n int) Searcher {
 	return &c
 }
 
+// SetAutoCompact implements Maintainable, delegating to the LSH banding
+// index (D3L's only tombstoning structure).
+func (d *D3L) SetAutoCompact(on bool) { d.lsh.SetAutoCompact(on) }
+
+// Compact implements Maintainable: it compacts the LSH banding index,
+// reporting whether any tombstones were reclaimed.
+func (d *D3L) Compact() bool { return d.lsh.Compact() }
+
+// MaintenanceStats implements Maintainable.
+func (d *D3L) MaintenanceStats() MaintenanceStats {
+	return MaintenanceStats{
+		LSHEntries:      d.lsh.Len() + d.lsh.Dead(),
+		LSHDead:         d.lsh.Dead(),
+		LSHDeadFraction: d.lsh.DeadFraction(),
+	}
+}
+
+// ModeView implements ModeViewer. D3L's approximate backend is its LSH
+// banding index, which always exists, so a view of either mode is a free
+// shallow copy.
+func (d *D3L) ModeView(m Mode) (Searcher, bool) {
+	if m == d.mode {
+		return d, true
+	}
+	if m != Exact && m != ANN {
+		return nil, false
+	}
+	c := *d
+	c.mode = m
+	return &c, true
+}
+
 // CloneWithLake implements Cloner: the clone is bound to l and owns its own
 // signal maps and LSH banding index, sharing the per-column signature,
 // vector, and profile slices (install replaces whole slices; nothing writes

@@ -316,6 +316,76 @@ type PreparedNominator interface {
 	ScorePrepared(pq PreparedQuery, t *table.Table) float64
 }
 
+// MaintenanceStats describes the tombstone debt of a searcher's mutable
+// index structures — the signal a background maintainer watches to decide
+// when a compaction pass is worth a snapshot rebuild. Zero values mean the
+// corresponding structure does not exist (no graph installed, no LSH index).
+type MaintenanceStats struct {
+	// GraphNodes is the HNSW node count including tombstones; GraphLive is
+	// the live subset. GraphDeletedFraction is dead/total, 0 for no graph.
+	GraphNodes           int
+	GraphLive            int
+	GraphDeletedFraction float64
+	// LSHEntries is the LSH banding index's slot count including tombstones,
+	// LSHDead the tombstoned subset, LSHDeadFraction their ratio.
+	LSHEntries      int
+	LSHDead         int
+	LSHDeadFraction float64
+}
+
+// MaxDeadFraction returns the worst tombstone fraction across the tracked
+// structures — the single number maintenance thresholds compare against.
+func (m MaintenanceStats) MaxDeadFraction() float64 {
+	if m.GraphDeletedFraction > m.LSHDeadFraction {
+		return m.GraphDeletedFraction
+	}
+	return m.LSHDeadFraction
+}
+
+// Merge combines per-shard stats into a lake-wide view: counts sum,
+// fractions take the per-shard maximum (one rotten shard should trip the
+// maintainer even if the rest of the lake is clean).
+func (m MaintenanceStats) Merge(o MaintenanceStats) MaintenanceStats {
+	m.GraphNodes += o.GraphNodes
+	m.GraphLive += o.GraphLive
+	if o.GraphDeletedFraction > m.GraphDeletedFraction {
+		m.GraphDeletedFraction = o.GraphDeletedFraction
+	}
+	m.LSHEntries += o.LSHEntries
+	m.LSHDead += o.LSHDead
+	if o.LSHDeadFraction > m.LSHDeadFraction {
+		m.LSHDeadFraction = o.LSHDeadFraction
+	}
+	return m
+}
+
+// Maintainable is an index whose compaction policy can be taken over by a
+// background maintainer: SetAutoCompact(false) stops mutations from
+// rebuilding inline (the threshold check that normally runs inside
+// AddTable/RemoveTable moves behind this hook), MaintenanceStats exposes the
+// accumulated tombstone debt, and Compact pays it down — typically on a
+// clone, off the query path, with a snapshot swap on completion. Compact
+// preserves result identity: a compacted index ranks exactly like its
+// tombstoned self. All three searchers in this package implement it.
+type Maintainable interface {
+	MaintenanceStats() MaintenanceStats
+	SetAutoCompact(on bool)
+	// Compact rebuilds tombstoned structures now and reports whether any
+	// work was done. Not safe concurrently with queries or mutations.
+	Compact() bool
+}
+
+// ModeViewer is a Staged searcher that can produce a cheap read-only view
+// of itself under a different retrieval mode, sharing all index state with
+// the original. A serving layer uses it to degrade individual requests to
+// ANN retrieval under load without flipping the shared searcher's mode.
+// The view must not be mutated; concurrent queries on view and original
+// are safe. ok is false when the target mode's backend is not installed
+// (e.g. an ANN view of a graph-less searcher).
+type ModeViewer interface {
+	ModeView(m Mode) (s Searcher, ok bool)
+}
+
 // Cloner is a Searcher that can produce an independently mutable copy of
 // itself bound to a (cloned) lake: Incremental mutations on the clone never
 // disturb the original, while the heavy immutable index state — embedding

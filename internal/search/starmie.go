@@ -62,6 +62,12 @@ type Starmie struct {
 	// exact re-ranking. Raise Oversample to trade latency for recall.
 	Oversample float64
 	EfSearch   int
+	// manualCompact (set via SetAutoCompact(false)) stops mutations from
+	// rebuilding the graph inline once tombstones dominate; an attached
+	// maintainer calls Compact on its own schedule instead. Zero value
+	// keeps the inline policy, so clones and views inherit the setting
+	// through plain struct copies.
+	manualCompact bool
 }
 
 // NewStarmie indexes the lake with the default Starmie encoder.
@@ -198,12 +204,20 @@ func (s *Starmie) annReplace(name string) {
 }
 
 // maybeRebuild compacts the graph once tombstones dominate (the shared
-// staleGraph policy), rebooking the node-to-table mapping as Compact
-// reports the surviving ids.
+// staleGraph policy), unless a maintainer owns compaction
+// (SetAutoCompact(false)).
 func (s *Starmie) maybeRebuild() {
-	if !staleGraph(s.graph) {
+	if s.manualCompact || !staleGraph(s.graph) {
 		return
 	}
+	s.rebuildGraph()
+}
+
+// rebuildGraph compacts the graph from its live nodes, rebooking the
+// node-to-table mapping as ann.Compact reports the surviving ids. Live
+// insertion order is preserved, so searches rank identically before and
+// after.
+func (s *Starmie) rebuildGraph() {
 	oldTables := s.annTables
 	s.annTables = nil
 	s.annIDs = make(map[string][]int, len(s.annIDs))
@@ -212,6 +226,51 @@ func (s *Starmie) maybeRebuild() {
 		s.annTables = append(s.annTables, name)
 		s.annIDs[name] = append(s.annIDs[name], newID)
 	})
+}
+
+// SetAutoCompact implements Maintainable: with auto compaction off,
+// AddTable/RemoveTable/RefreshBig never rebuild the graph inline and
+// tombstones accumulate until Compact runs.
+func (s *Starmie) SetAutoCompact(on bool) { s.manualCompact = !on }
+
+// Compact implements Maintainable: it rebuilds the graph from its live
+// nodes when any tombstones exist, reporting whether a rebuild ran.
+func (s *Starmie) Compact() bool {
+	if s.graph == nil || s.graph.Len() == s.graph.Live() {
+		return false
+	}
+	s.rebuildGraph()
+	return true
+}
+
+// MaintenanceStats implements Maintainable.
+func (s *Starmie) MaintenanceStats() MaintenanceStats {
+	var st MaintenanceStats
+	if s.graph != nil {
+		st.GraphNodes = s.graph.Len()
+		st.GraphLive = s.graph.Live()
+		st.GraphDeletedFraction = s.graph.DeletedFraction()
+	}
+	return st
+}
+
+// ModeView implements ModeViewer: the view is a shallow copy sharing every
+// piece of index state (including the graph, whose searches are safe
+// concurrently) under the requested retrieval mode. An ANN view of a
+// graph-less searcher is unavailable — build the graph first via SetMode.
+func (s *Starmie) ModeView(m Mode) (Searcher, bool) {
+	if m == s.mode {
+		return s, true
+	}
+	if m == ANN && s.graph == nil {
+		return nil, false
+	}
+	if m != Exact && m != ANN {
+		return nil, false
+	}
+	c := *s
+	c.mode = m
+	return &c, true
 }
 
 // annCandidateNames nominates the owner tables of the perColumn nearest

@@ -48,6 +48,9 @@ type TupleSearch struct {
 	// Starmie: ceil(Oversample*k) nearest tuples per query tuple.
 	Oversample float64
 	EfSearch   int
+	// manualCompact mirrors Starmie's: SetAutoCompact(false) moves graph
+	// compaction off the mutation path and into explicit Compact calls.
+	manualCompact bool
 }
 
 // NewTupleSearch indexes every tuple of the given tables. Embedding runs
@@ -130,12 +133,44 @@ func (ts *TupleSearch) annAddOne(tu ScoredTuple, v vector.Vec) {
 }
 
 // maybeRebuild compacts the graph once tombstones dominate (the shared
-// staleGraph policy), rebooking the id-parallel tuple shadows as Compact
-// reports the surviving ids.
+// staleGraph policy), unless a maintainer owns compaction
+// (SetAutoCompact(false)).
 func (ts *TupleSearch) maybeRebuild() {
-	if !staleGraph(ts.graph) {
+	if ts.manualCompact || !staleGraph(ts.graph) {
 		return
 	}
+	ts.rebuildGraph()
+}
+
+// SetAutoCompact implements the Maintainable surface (typed locally, as
+// with SetMode): with auto compaction off, mutations never rebuild the
+// graph inline.
+func (ts *TupleSearch) SetAutoCompact(on bool) { ts.manualCompact = !on }
+
+// Compact rebuilds the graph from its live nodes when any tombstones
+// exist, reporting whether a rebuild ran.
+func (ts *TupleSearch) Compact() bool {
+	if ts.graph == nil || ts.graph.Len() == ts.graph.Live() {
+		return false
+	}
+	ts.rebuildGraph()
+	return true
+}
+
+// MaintenanceStats reports the graph's tombstone debt.
+func (ts *TupleSearch) MaintenanceStats() MaintenanceStats {
+	var st MaintenanceStats
+	if ts.graph != nil {
+		st.GraphNodes = ts.graph.Len()
+		st.GraphLive = ts.graph.Live()
+		st.GraphDeletedFraction = ts.graph.DeletedFraction()
+	}
+	return st
+}
+
+// rebuildGraph compacts the graph from its live nodes, rebooking the
+// id-parallel tuple shadows as ann.Compact reports the surviving ids.
+func (ts *TupleSearch) rebuildGraph() {
 	oldTuples, oldVecs := ts.annTuples, ts.annVecs
 	ts.annTuples = nil
 	ts.annVecs = nil

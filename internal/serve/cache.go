@@ -17,23 +17,34 @@ import (
 // comfortably out-scale the in-flight query bound of a single server.
 const cacheShards = 16
 
+// cacheEntryOverhead approximates the per-entry bookkeeping bytes beyond
+// key and body (list element, map slot, entry header) so the byte bound
+// cannot be dodged by caching many tiny responses.
+const cacheEntryOverhead = 128
+
 // Cache is a sharded LRU over marshaled search responses. Entries are keyed
 // by (query fingerprint, k, pipeline config tag, index epoch) — see
 // cacheKey — so a snapshot swap invalidates every prior entry by
 // construction: the bumped epoch changes the key, stale entries simply stop
-// being reachable and age out of the LRU. A nil *Cache is valid and caches
-// nothing (Get always misses, Put is a no-op).
+// being reachable and age out of the LRU. Residency is bounded on two axes:
+// entry count (NewCache capacity) and, optionally, resident bytes
+// (NewCacheBytes) — a max-k workload can pin multi-megabyte bodies, so a
+// count bound alone does not bound memory. Eviction runs when either bound
+// is exceeded. A nil *Cache is valid and caches nothing (Get always misses,
+// Put is a no-op).
 type Cache struct {
-	shards   [cacheShards]cacheShard
-	perShard int
-	hits     atomic.Uint64
-	misses   atomic.Uint64
+	shards        [cacheShards]cacheShard
+	perShard      int
+	bytesPerShard int64 // 0 = no byte bound
+	hits          atomic.Uint64
+	misses        atomic.Uint64
 }
 
 type cacheShard struct {
 	mu    sync.Mutex
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
+	bytes int64 // resident entry sizes (key + body + overhead)
 }
 
 type cacheEntry struct {
@@ -41,13 +52,29 @@ type cacheEntry struct {
 	body []byte
 }
 
+// size is the entry's contribution to the shard's byte accounting.
+func (e *cacheEntry) size() int64 {
+	return int64(len(e.key)) + int64(len(e.body)) + cacheEntryOverhead
+}
+
 // NewCache creates a cache holding about capacity responses in total,
-// split evenly across shards. capacity <= 0 disables caching (returns nil).
-func NewCache(capacity int) *Cache {
+// split evenly across shards, with no byte bound. capacity <= 0 disables
+// caching (returns nil).
+func NewCache(capacity int) *Cache { return NewCacheBytes(capacity, 0) }
+
+// NewCacheBytes is NewCache with an additional bound on resident bytes
+// (key + body + per-entry overhead), split evenly across shards; entries
+// are evicted LRU-first when either bound is exceeded, and a single entry
+// larger than its shard's byte budget is not cached at all. maxBytes <= 0
+// means no byte bound; capacity <= 0 disables caching entirely.
+func NewCacheBytes(capacity int, maxBytes int64) *Cache {
 	if capacity <= 0 {
 		return nil
 	}
 	c := &Cache{perShard: (capacity + cacheShards - 1) / cacheShards}
+	if maxBytes > 0 {
+		c.bytesPerShard = (maxBytes + cacheShards - 1) / cacheShards
+	}
 	for i := range c.shards {
 		c.shards[i].ll = list.New()
 		c.shards[i].items = make(map[string]*list.Element)
@@ -89,40 +116,56 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return body, true
 }
 
-// Put stores body under key, evicting least-recently-used entries past the
-// shard's capacity.
+// Put stores body under key, evicting least-recently-used entries while the
+// shard exceeds either its entry capacity or its byte budget. A body too
+// large to ever fit the byte budget is dropped rather than cached (caching
+// it would immediately evict everything else for a single entry).
 func (c *Cache) Put(key string, body []byte) {
 	if c == nil {
+		return
+	}
+	e := &cacheEntry{key: key, body: body}
+	if c.bytesPerShard > 0 && e.size() > c.bytesPerShard {
 		return
 	}
 	s := c.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.items[key]; ok {
-		el.Value.(*cacheEntry).body = body
+		old := el.Value.(*cacheEntry)
+		s.bytes += e.size() - old.size()
+		old.body = body
 		s.ll.MoveToFront(el)
-		return
+	} else {
+		s.items[key] = s.ll.PushFront(e)
+		s.bytes += e.size()
 	}
-	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, body: body})
-	for s.ll.Len() > c.perShard {
+	for s.ll.Len() > c.perShard || (c.bytesPerShard > 0 && s.bytes > c.bytesPerShard) {
 		back := s.ll.Back()
+		if back == nil {
+			break
+		}
+		evicted := back.Value.(*cacheEntry)
 		s.ll.Remove(back)
-		delete(s.items, back.Value.(*cacheEntry).key)
+		delete(s.items, evicted.key)
+		s.bytes -= evicted.size()
 	}
 }
 
-// Stats reports lifetime hit/miss counters and the current entry count.
-func (c *Cache) Stats() (hits, misses uint64, entries int) {
+// Stats reports lifetime hit/miss counters, the current entry count, and
+// the resident bytes (key + body + per-entry overhead) those entries hold.
+func (c *Cache) Stats() (hits, misses uint64, entries int, bytes int64) {
 	if c == nil {
-		return 0, 0, 0
+		return 0, 0, 0, 0
 	}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
 		entries += s.ll.Len()
+		bytes += s.bytes
 		s.mu.Unlock()
 	}
-	return c.hits.Load(), c.misses.Load(), entries
+	return c.hits.Load(), c.misses.Load(), entries, bytes
 }
 
 // queryFingerprint hashes a query table's full content — headers and every

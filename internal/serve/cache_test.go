@@ -31,9 +31,12 @@ func TestCacheGetPutLRU(t *testing.T) {
 	if got, ok := c.Get(keys[1]); !ok || string(got) != "v1" {
 		t.Fatalf("survivor = %q/%v", got, ok)
 	}
-	hits, misses, entries := c.Stats()
+	hits, misses, entries, bytes := c.Stats()
 	if hits != 2 || misses != 1 || entries < 1 {
 		t.Fatalf("stats = %d hits / %d misses / %d entries, want 2/1/>=1", hits, misses, entries)
+	}
+	if bytes <= 0 {
+		t.Fatalf("bytes = %d with %d resident entries, want > 0", bytes, entries)
 	}
 }
 
@@ -44,7 +47,7 @@ func TestCacheUpdateExistingKey(t *testing.T) {
 	if got, ok := c.Get("k"); !ok || string(got) != "new" {
 		t.Fatalf("updated entry = %q/%v, want new/true", got, ok)
 	}
-	if _, _, entries := c.Stats(); entries != 1 {
+	if _, _, entries, _ := c.Stats(); entries != 1 {
 		t.Fatalf("entries = %d after in-place update, want 1", entries)
 	}
 }
@@ -55,11 +58,53 @@ func TestCacheCapacityBound(t *testing.T) {
 	for i := 0; i < capacity*4; i++ {
 		c.Put(fmt.Sprintf("key-%d", i), []byte("v"))
 	}
-	_, _, entries := c.Stats()
+	_, _, entries, _ := c.Stats()
 	// Shard-local rounding can push the total slightly over capacity, never
 	// unboundedly.
 	if entries > capacity+cacheShards {
 		t.Fatalf("cache holds %d entries, capacity %d", entries, capacity)
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	// Generous entry capacity, tight byte budget: eviction must trigger on
+	// bytes alone. One shard's budget fits roughly two of these entries.
+	const perEntry = 1024
+	c := NewCacheBytes(1<<20, cacheShards*2*(perEntry+cacheEntryOverhead+16))
+	body := make([]byte, perEntry)
+	for i := 0; i < 512; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), body)
+	}
+	_, _, entries, bytes := c.Stats()
+	if entries == 0 || bytes == 0 {
+		t.Fatal("byte-bounded cache retained nothing")
+	}
+	if max := int64(cacheShards * 2 * (perEntry + cacheEntryOverhead + 16)); bytes > max {
+		t.Fatalf("resident bytes %d exceed the %d budget", bytes, max)
+	}
+	if entries >= 512 {
+		t.Fatalf("no eviction happened: %d entries resident", entries)
+	}
+
+	// Accounting must shrink when an update replaces a large body with a
+	// small one, and grow back on the reverse.
+	c2 := NewCacheBytes(16, 1<<20)
+	c2.Put("k", make([]byte, 4096))
+	_, _, _, before := c2.Stats()
+	c2.Put("k", make([]byte, 16))
+	_, _, _, after := c2.Stats()
+	if after >= before {
+		t.Fatalf("bytes %d -> %d after shrinking update, want a decrease", before, after)
+	}
+
+	// An entry larger than a whole shard budget is refused outright.
+	c3 := NewCacheBytes(16, cacheShards*64)
+	c3.Put("huge", make([]byte, 4096))
+	if _, ok := c3.Get("huge"); ok {
+		t.Fatal("oversized entry was cached")
+	}
+	if _, _, entries, bytes := c3.Stats(); entries != 0 || bytes != 0 {
+		t.Fatalf("oversized entry left residue: %d entries / %d bytes", entries, bytes)
 	}
 }
 
@@ -69,8 +114,8 @@ func TestNilCacheIsDisabled(t *testing.T) {
 	if _, ok := c.Get("k"); ok {
 		t.Fatal("nil cache returned a hit")
 	}
-	if h, m, e := c.Stats(); h != 0 || m != 0 || e != 0 {
-		t.Fatalf("nil cache stats %d/%d/%d", h, m, e)
+	if h, m, e, b := c.Stats(); h != 0 || m != 0 || e != 0 || b != 0 {
+		t.Fatalf("nil cache stats %d/%d/%d/%d", h, m, e, b)
 	}
 	if NewCache(0) != nil {
 		t.Fatal("NewCache(0) should disable caching")

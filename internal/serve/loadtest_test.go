@@ -305,4 +305,49 @@ func BenchmarkServeThroughput(b *testing.B) {
 		resp.Body.Close()
 		run(b, ts, body)
 	})
+
+	// The saturated pair measures cost-aware degradation where it matters:
+	// a larger lake (ANN pruning has candidates to skip), caching off
+	// (every request computes), and 7 of 8 slots pinned so the load factor
+	// stays above the degrade threshold for every request. The exact arm
+	// is the baseline the degraded arm must beat under the same load;
+	// recorded as the degraded-path entry in BENCH_serve.json.
+	largeServer := func(b *testing.B, opts ...Option) (*Server, *httptest.Server, []byte) {
+		bench := datagen.Generate("serve-bench-large", datagen.Config{
+			Seed: 82, Domains: 10, TablesPerBase: 60, BaseRows: 60, MinRows: 15, MaxRows: 30,
+		})
+		p := dust.New(bench.Lake, dust.WithTopTables(5))
+		srv := New(p, opts...)
+		ts := httptest.NewServer(srv)
+		b.Cleanup(ts.Close)
+		q := bench.Queries[0]
+		body, err := json.Marshal(searchRequest{
+			Query: tableJSON{Headers: q.Headers(), Rows: rowsOf(q)}, K: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return srv, ts, body
+	}
+	saturate := func(b *testing.B, srv *Server) {
+		for i := 0; i < 7; i++ {
+			srv.sem <- struct{}{}
+		}
+		b.Cleanup(func() {
+			for i := 0; i < 7; i++ {
+				<-srv.sem
+			}
+		})
+	}
+	b.Run("saturated-exact", func(b *testing.B) {
+		srv, ts, body := largeServer(b, WithCacheCapacity(0), WithMaxInFlight(8))
+		saturate(b, srv)
+		run(b, ts, body)
+	})
+	b.Run("saturated-degraded", func(b *testing.B) {
+		srv, ts, body := largeServer(b, WithCacheCapacity(0), WithMaxInFlight(8),
+			WithDegradeThreshold(0.5))
+		saturate(b, srv)
+		run(b, ts, body)
+	})
 }

@@ -70,6 +70,15 @@ func newServerMetrics(s *Server, scatterOn bool) *serverMetrics {
 	r.NewCounterFunc("dust_canceled_total",
 		"Searches abandoned because the client went away.", nil,
 		func(emit func(float64, ...string)) { emit(float64(s.canceled.Load())) })
+	r.NewCounterFunc("dust_serve_degraded_total",
+		"Searches answered by the degraded (ANN) view under cost-aware admission.", nil,
+		func(emit func(float64, ...string)) { emit(float64(s.degraded.Load())) })
+	r.NewCounterFunc("dust_serve_shed_total",
+		"Searches refused with 503 + Retry-After because the server was overloaded and no degraded mode was available.", nil,
+		func(emit func(float64, ...string)) { emit(float64(s.shed.Load())) })
+	r.NewCounterFunc("dust_maintenance_compactions_total",
+		"Background maintenance passes that compacted the index and swapped the snapshot.", nil,
+		func(emit func(float64, ...string)) { emit(float64(s.maintRuns.Load())) })
 
 	r.NewGaugeFunc("dust_in_flight",
 		"Searches currently executing in the pipeline.", nil,
@@ -84,20 +93,26 @@ func newServerMetrics(s *Server, scatterOn bool) *serverMetrics {
 	r.NewCounterFunc("dust_cache_hits_total",
 		"Result-cache hits.", nil,
 		func(emit func(float64, ...string)) {
-			h, _, _ := s.cache.Stats()
+			h, _, _, _ := s.cache.Stats()
 			emit(float64(h))
 		})
 	r.NewCounterFunc("dust_cache_misses_total",
 		"Result-cache misses.", nil,
 		func(emit func(float64, ...string)) {
-			_, mi, _ := s.cache.Stats()
+			_, mi, _, _ := s.cache.Stats()
 			emit(float64(mi))
 		})
 	r.NewGaugeFunc("dust_cache_entries",
 		"Result-cache resident entries.", nil,
 		func(emit func(float64, ...string)) {
-			_, _, n := s.cache.Stats()
+			_, _, n, _ := s.cache.Stats()
 			emit(float64(n))
+		})
+	r.NewGaugeFunc("dust_cache_bytes",
+		"Result-cache resident bytes (keys + bodies + per-entry overhead).", nil,
+		func(emit func(float64, ...string)) {
+			_, _, _, b := s.cache.Stats()
+			emit(float64(b))
 		})
 
 	r.NewGaugeFunc("dust_epoch",
@@ -141,10 +156,11 @@ func newServerMetrics(s *Server, scatterOn bool) *serverMetrics {
 // instrumentation wrapper: the cache outcome and, for served searches, the
 // request's k, snapshot epoch, stage trace, and failure message.
 type requestInfo struct {
-	cache    string // "hit"/"miss" for /search, "" elsewhere
+	cache    string // "hit"/"miss"/"none" for /search, "" elsewhere
 	k        int
 	epoch    uint64
 	isSearch bool
+	degraded bool // answered by the ANN view under cost-aware admission
 	trace    *search.Trace
 	errMsg   string
 }
@@ -246,6 +262,7 @@ type requestLogLine struct {
 	Status   int       `json:"status"`
 	DurMS    float64   `json:"dur_ms"`
 	Cache    string    `json:"cache,omitempty"`
+	Degraded bool      `json:"degraded,omitempty"`
 	K        int       `json:"k,omitempty"`
 	Epoch    *uint64   `json:"epoch,omitempty"`
 	Stages   *stagesMS `json:"stages_ms,omitempty"`
@@ -266,6 +283,7 @@ func (s *Server) logRequest(r *http.Request, endpoint string, status int, dur ti
 		Status:   status,
 		DurMS:    ms(dur),
 		Cache:    info.cache,
+		Degraded: info.degraded,
 		K:        info.k,
 		Error:    info.errMsg,
 	}

@@ -92,6 +92,24 @@ func TestStatusCodeContract(t *testing.T) {
 			}
 		})
 	}
+
+	// A pipeline whose searcher cannot clone is a server misconfiguration:
+	// mutations fail with 500, not 501 — the endpoint is implemented, the
+	// deployment is broken. 501 stays reserved for ErrNotIncremental.
+	t.Run("clone failure is 500", func(t *testing.T) {
+		p := dust.New(fixedLake().Lake, dust.WithSearcher(stubSearcher{}))
+		ts := httptest.NewServer(New(p))
+		t.Cleanup(ts.Close)
+		resp, body := postBody(t, "PUT", ts.URL+"/tables/newt", "application/json",
+			`{"headers":["a"],"rows":[["1"]]}`)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("status %d, want 500 (body %s)", resp.StatusCode, body)
+		}
+		var e errorJSON
+		if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "does not support cloning") {
+			t.Fatalf("error body %q does not name the clone failure (err %v)", body, err)
+		}
+	})
 }
 
 // TestRejectedVsCanceled pins the accounting split at admission: a request
@@ -298,16 +316,20 @@ func TestRequestLog(t *testing.T) {
 	postSearch(t, ts.URL, body) // miss
 	postSearch(t, ts.URL, body) // hit
 	getJSON(t, ts.URL+"/stats", nil)
+	postSearch(t, ts.URL, searchBody(t, b.Queries[0], -2)) // bad k: 400
 
 	lines := strings.Split(strings.TrimSpace(sink.String()), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("got %d log lines, want 3: %q", len(lines), lines)
+	if len(lines) != 4 {
+		t.Fatalf("got %d log lines, want 4: %q", len(lines), lines)
 	}
-	var miss, hit, stats requestLogLine
-	for i, dst := range []*requestLogLine{&miss, &hit, &stats} {
+	var miss, hit, stats, badK requestLogLine
+	for i, dst := range []*requestLogLine{&miss, &hit, &stats, &badK} {
 		if err := json.Unmarshal([]byte(lines[i]), dst); err != nil {
 			t.Fatalf("log line %d not JSON: %v (%s)", i, err, lines[i])
 		}
+	}
+	if badK.Status != http.StatusBadRequest || !strings.Contains(badK.Error, "k must be positive") {
+		t.Fatalf("bad-k line has status %d error %q, want a 400 naming the bad k", badK.Status, badK.Error)
 	}
 	if miss.Endpoint != "/search" || miss.Status != 200 || miss.Cache != "miss" ||
 		miss.K != 3 || miss.Epoch == nil || miss.Stages == nil {

@@ -54,12 +54,32 @@ type Server struct {
 	maxK         int
 	maxBody      int64
 	queryWorkers int
+	cacheCap     int   // entry bound handed to the cache at construction
+	cacheBytes   int64 // byte bound handed to the cache; 0 = unbounded
+
+	// Cost-aware admission (WithDegradeThreshold). costNS is an EWMA of
+	// observed exact-search cost per cost unit (query rows x lake tables),
+	// stored as float64 bits; waits is a ring of recent admission waits
+	// whose p99 is a second overload signal beside the in-flight ratio.
+	degradeThreshold float64
+	costNS           atomic.Uint64
+	waits            admissionRing
+
+	// Background maintenance (WithMaintenance): a serve-owned goroutine
+	// that compacts tombstone-heavy indexes on a clone off the query path.
+	maintInterval  time.Duration
+	maintThreshold float64
+	maintStop      chan struct{}
+	closeOnce      sync.Once
 
 	searches  atomic.Uint64 // successfully served, cached or not
 	mutations atomic.Uint64
 	rejected  atomic.Uint64 // admission/deadline/pipeline failures
 	canceled  atomic.Uint64 // client went away mid-request
 	waiting   atomic.Int64  // searches parked at admission right now
+	degraded  atomic.Uint64 // searches answered by the ANN view under load
+	shed      atomic.Uint64 // searches refused with 503 + Retry-After under load
+	maintRuns atomic.Uint64 // maintenance passes that compacted and swapped
 
 	metrics *serverMetrics
 	scatter *shard.StageTimings // shard-path stage accumulator, always non-nil
@@ -74,7 +94,42 @@ type Option func(*Server)
 
 // WithCacheCapacity bounds the query-result cache to about n responses
 // (default 1024); n <= 0 disables caching.
-func WithCacheCapacity(n int) Option { return func(s *Server) { s.cache = NewCache(n) } }
+func WithCacheCapacity(n int) Option { return func(s *Server) { s.cacheCap = n } }
+
+// WithCacheBytes additionally bounds the cache's resident bytes (key +
+// body + per-entry overhead); n <= 0 (the default) leaves bytes unbounded,
+// with only the entry-count bound of WithCacheCapacity in force.
+func WithCacheBytes(n int64) Option { return func(s *Server) { s.cacheBytes = n } }
+
+// WithDegradeThreshold enables cost-aware admission: when the in-flight
+// load factor (executing + waiting searches over the admission bound)
+// reaches f, or the recent admission-wait p99 exceeds a tenth of the
+// request timeout, non-trivial searches are degraded to the snapshot's
+// ANN view — same index, approximate retrieval — instead of queueing for
+// an exact slot. Pipelines without an ANN view (see dust.PrepareANN) shed
+// instead: 503 with a Retry-After estimated from the observed per-search
+// cost. f <= 0 (the default) disables the policy. Degraded responses
+// carry "degraded": true and count in dust_serve_degraded_total.
+func WithDegradeThreshold(f float64) Option { return func(s *Server) { s.degradeThreshold = f } }
+
+// WithMaintenance enables background index maintenance: every interval,
+// a serve-owned goroutine inspects the published snapshot's tombstone
+// fractions and, past the maintenance threshold, compacts a clone off the
+// query path and swaps it in. While a maintainer is attached, mutations
+// never compact inline (auto-compaction is disabled on the pipeline), so
+// AddTable/RemoveTable latency stays O(delta) no matter how much
+// tombstone debt has accrued. interval <= 0 (the default) disables the
+// maintainer.
+func WithMaintenance(interval time.Duration) Option {
+	return func(s *Server) { s.maintInterval = interval }
+}
+
+// WithMaintenanceThreshold overrides the dead-entry fraction at which the
+// maintainer compacts (default DefaultMaintenanceThreshold). Only
+// meaningful together with WithMaintenance.
+func WithMaintenanceThreshold(f float64) Option {
+	return func(s *Server) { s.maintThreshold = f }
+}
 
 // WithMaxInFlight bounds the number of concurrently executing searches
 // (default: the GOMAXPROCS-derived worker count). Excess requests wait for
@@ -109,17 +164,32 @@ func WithMaxBodyBytes(n int64) Option { return func(s *Server) { s.maxBody = n }
 // caller afterwards: the server owns it (mutations clone and swap it).
 func New(p *dust.Pipeline, opts ...Option) *Server {
 	s := &Server{
-		cache:        NewCache(1024),
-		timeout:      30 * time.Second,
-		maxK:         1000,
-		maxBody:      DefaultMaxBodyBytes,
-		queryWorkers: 1,
+		cacheCap:       1024,
+		timeout:        30 * time.Second,
+		maxK:           1000,
+		maxBody:        DefaultMaxBodyBytes,
+		queryWorkers:   1,
+		maintThreshold: DefaultMaintenanceThreshold,
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.cache = NewCacheBytes(s.cacheCap, s.cacheBytes)
 	if s.sem == nil {
 		s.sem = make(chan struct{}, par.DefaultWorkers())
+	}
+	if s.degradeThreshold > 0 {
+		// Degraded admission needs an ANN view; install the graph up front
+		// (it survives clones and mode flips) so the very first overload
+		// can degrade instead of shedding. Best-effort: searchers without
+		// a staged retrieval surface simply shed.
+		p.PrepareANN()
+	}
+	if s.maintInterval > 0 {
+		// The maintainer owns compaction: mutations must never rebuild
+		// inline (that is exactly the stall the maintainer exists to
+		// absorb). The policy bit is cloned into every future snapshot.
+		p.SetAutoCompact(false)
 	}
 	// Attach the scatter-stage accumulator before the first snapshot is
 	// published: pipeline clones copy the searcher by value, so the pointer
@@ -128,6 +198,10 @@ func New(p *dust.Pipeline, opts ...Option) *Server {
 	scatterOn := p.InstrumentScatter(s.scatter)
 	s.snap.Store(newSnapshot(p, s.queryWorkers))
 	s.metrics = newServerMetrics(s, scatterOn)
+	if s.maintInterval > 0 {
+		s.maintStop = make(chan struct{})
+		go s.maintenanceLoop()
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /search", s.instrument("/search", s.handleSearch))
@@ -153,13 +227,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // embedding callers; requests load it exactly once themselves).
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
-// Close releases resources owned by the served pipeline — with a sharded
-// index, the shard family's long-lived scatter pool (shared across every
-// snapshot clone, so one call covers the whole swap history). Call it only
-// once the server stops receiving requests: queries already in flight are
-// unaffected (request views scatter inline, without the pool), but the
-// master pipeline must not serve new work after Close.
-func (s *Server) Close() { s.snap.Load().master.Close() }
+// Close stops the background maintainer (if any) and releases resources
+// owned by the served pipeline — with a sharded index, the shard family's
+// long-lived scatter pool (shared across every snapshot clone, so one call
+// covers the whole swap history). Call it only once the server stops
+// receiving requests: queries already in flight are unaffected (request
+// views scatter inline, without the pool), but the master pipeline must
+// not serve new work after Close. Close is idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.maintStop != nil {
+			close(s.maintStop)
+		}
+		s.snap.Load().master.Close()
+	})
+}
 
 // tableJSON is the wire form of a table: a header row plus value rows.
 type tableJSON struct {
@@ -207,6 +289,7 @@ type provenanceJSON struct {
 type searchResponse struct {
 	Epoch      uint64           `json:"epoch"`
 	Cached     bool             `json:"cached"`
+	Degraded   bool             `json:"degraded,omitempty"`
 	K          int              `json:"k"`
 	Tables     []string         `json:"tables"`
 	Pool       int              `json:"pool"`
@@ -348,10 +431,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	case k == 0:
 		k = DefaultK
 	case k < 0:
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("k must be positive, got %d", k))
+		msg := fmt.Sprintf("k must be positive, got %d", k)
+		info.errMsg = msg
+		httpError(w, http.StatusBadRequest, msg)
 		return
 	case k > s.maxK:
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("k %d exceeds the server cap %d", k, s.maxK))
+		msg := fmt.Sprintf("k %d exceeds the server cap %d", k, s.maxK)
+		info.errMsg = msg
+		httpError(w, http.StatusBadRequest, msg)
 		return
 	}
 
@@ -359,7 +446,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// lake, config tag, and epoch all come from the same published state,
 	// no matter how many swaps happen while the query runs.
 	snap := s.snap.Load()
-	key := cacheKey(queryFingerprint(query), k, snap.tag, snap.Epoch())
+	fp := queryFingerprint(query)
+	key := cacheKey(fp, k, snap.tag, snap.Epoch())
 	info.k, info.epoch = k, snap.Epoch()
 
 	// A cache hit is a map lookup plus a byte write — no pipeline work —
@@ -372,7 +460,48 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(body)
 		return
 	}
-	info.cache = "miss"
+	if s.cache == nil {
+		info.cache = "none"
+	} else {
+		info.cache = "miss"
+	}
+
+	// Cost-aware admission: past the configured load threshold, a search
+	// worth degrading runs against the snapshot's ANN view — same frozen
+	// index, approximate retrieval, a fraction of the exact cost — and a
+	// pipeline with no such view sheds the request instead of queueing it
+	// into a backlog it cannot drain. Queries estimated cheaper than a
+	// millisecond are admitted exactly even under load: degrading them
+	// frees no meaningful capacity. Degraded requests still pass the
+	// admission gate below — the policy trades work per slot, not the
+	// slot bound itself.
+	view := snap.query
+	units := costUnits(query, snap)
+	if load, over := s.overloaded(); over && !s.cheap(units) {
+		if snap.degraded != nil {
+			view = snap.degraded
+			info.degraded = true
+			s.degraded.Add(1)
+			// The degraded plan has its own config tag, so its cache lines
+			// never mix with exact results; probe them before computing.
+			key = cacheKey(fp, k, snap.degradedTag, snap.Epoch())
+			if body, ok := s.cache.Get(key); ok {
+				s.searches.Add(1)
+				info.cache = "hit"
+				w.Header().Set("Content-Type", "application/json")
+				_, _ = w.Write(body)
+				return
+			}
+		} else {
+			s.shed.Add(1)
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(units)))
+			msg := fmt.Sprintf("server overloaded (load %.2f, threshold %.2f) and no degraded mode is available", load, s.degradeThreshold)
+			info.errMsg = msg
+			httpError(w, http.StatusServiceUnavailable, msg)
+			return
+		}
+	}
 
 	// Admission: wait for an in-flight slot, but never past the request's
 	// deadline — a saturated server sheds load instead of queueing forever.
@@ -384,7 +513,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.sem <- struct{}{}:
 		s.waiting.Add(-1)
-		s.metrics.admissionWait.With().Observe(time.Since(waitStart).Seconds())
+		wait := time.Since(waitStart)
+		s.waits.observe(wait)
+		s.metrics.admissionWait.With().Observe(wait.Seconds())
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
 		s.waiting.Add(-1)
@@ -400,7 +531,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	tr := &search.Trace{}
-	res, err := snap.query.SearchContext(search.WithTrace(ctx, tr), query, k)
+	searchStart := time.Now()
+	res, err := view.SearchContext(search.WithTrace(ctx, tr), query, k)
 	if err != nil {
 		info.errMsg = err.Error()
 		switch {
@@ -418,6 +550,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info.trace = tr
+	if !info.degraded {
+		// Only exact searches feed the cost model; degraded timings would
+		// drag the estimate down and mislabel expensive queries as cheap.
+		s.observeCost(units, time.Since(searchStart))
+	}
 
 	prov := make([]provenanceJSON, len(res.Provenance))
 	for i, p := range res.Provenance {
@@ -431,6 +568,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	tuples.Name = ""
 	resp := searchResponse{
 		Epoch:      snap.Epoch(),
+		Degraded:   info.degraded,
 		K:          k,
 		Tables:     res.UnionableTables,
 		Pool:       res.Unioned.NumRows(),
@@ -461,7 +599,10 @@ func (s *Server) mutate(apply func(p *dust.Pipeline) error) (*Snapshot, int, err
 	cur := s.snap.Load()
 	shadow, err := cur.master.Clone()
 	if err != nil {
-		return nil, http.StatusNotImplemented, err
+		// A pipeline that cannot clone is a server misconfiguration, not a
+		// missing feature of this endpoint: 500, reserving 501 for the
+		// per-operation ErrNotIncremental below.
+		return nil, http.StatusInternalServerError, err
 	}
 	if err := apply(shadow); err != nil {
 		switch {
@@ -571,20 +712,24 @@ func (s *Server) handleListTables(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the body of GET /stats.
 type statsResponse struct {
-	Epoch     uint64 `json:"epoch"`
-	Tables    int    `json:"tables"`
-	Columns   int    `json:"columns"`
-	Tuples    int    `json:"tuples"`
-	Searches  uint64 `json:"searches"`
-	Mutations uint64 `json:"mutations"`
-	Rejected  uint64 `json:"rejected"`
-	Canceled  uint64 `json:"canceled"`
-	InFlight  int    `json:"in_flight"`
-	MaxIn     int    `json:"max_in_flight"`
-	Cache     struct {
+	Epoch       uint64 `json:"epoch"`
+	Tables      int    `json:"tables"`
+	Columns     int    `json:"columns"`
+	Tuples      int    `json:"tuples"`
+	Searches    uint64 `json:"searches"`
+	Mutations   uint64 `json:"mutations"`
+	Rejected    uint64 `json:"rejected"`
+	Canceled    uint64 `json:"canceled"`
+	Degraded    uint64 `json:"degraded"`
+	Shed        uint64 `json:"shed"`
+	Compactions uint64 `json:"compactions"`
+	InFlight    int    `json:"in_flight"`
+	MaxIn       int    `json:"max_in_flight"`
+	Cache       struct {
 		Hits    uint64 `json:"hits"`
 		Misses  uint64 `json:"misses"`
 		Entries int    `json:"entries"`
+		Bytes   int64  `json:"bytes"`
 	} `json:"cache"`
 	ConfigTag string `json:"config"`
 }
@@ -593,19 +738,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
 	st := snap.master.Lake().Stats()
 	resp := statsResponse{
-		Epoch:     snap.Epoch(),
-		Tables:    st.Tables,
-		Columns:   st.Columns,
-		Tuples:    st.Tuples,
-		Searches:  s.searches.Load(),
-		Mutations: s.mutations.Load(),
-		Rejected:  s.rejected.Load(),
-		Canceled:  s.canceled.Load(),
-		InFlight:  len(s.sem),
-		MaxIn:     cap(s.sem),
-		ConfigTag: snap.tag,
+		Epoch:       snap.Epoch(),
+		Tables:      st.Tables,
+		Columns:     st.Columns,
+		Tuples:      st.Tuples,
+		Searches:    s.searches.Load(),
+		Mutations:   s.mutations.Load(),
+		Rejected:    s.rejected.Load(),
+		Canceled:    s.canceled.Load(),
+		Degraded:    s.degraded.Load(),
+		Shed:        s.shed.Load(),
+		Compactions: s.maintRuns.Load(),
+		InFlight:    len(s.sem),
+		MaxIn:       cap(s.sem),
+		ConfigTag:   snap.tag,
 	}
-	resp.Cache.Hits, resp.Cache.Misses, resp.Cache.Entries = s.cache.Stats()
+	resp.Cache.Hits, resp.Cache.Misses, resp.Cache.Entries, resp.Cache.Bytes = s.cache.Stats()
 	writeJSON(w, http.StatusOK, resp)
 }
 

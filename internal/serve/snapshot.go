@@ -16,23 +16,35 @@ package serve
 
 import (
 	"dust"
+	"dust/internal/search"
 )
 
 // Snapshot is one immutable published state of the serving pipeline. The
 // master pipeline is the state the next mutation clones from; the query
 // view shares its index but bounds per-query parallelism so concurrent
-// requests do not multiply fan-out. Both are frozen: nothing mutates a
-// Snapshot after it is published.
+// requests do not multiply fan-out. When the pipeline can answer in ANN
+// mode distinct from its configured mode, the snapshot also carries a
+// degraded view — the same frozen index behind an approximate retrieval
+// stage — that cost-aware admission routes to under load. All views are
+// frozen: nothing mutates a Snapshot after it is published.
 type Snapshot struct {
-	master *dust.Pipeline
-	query  *dust.Pipeline
-	tag    string
+	master      *dust.Pipeline
+	query       *dust.Pipeline
+	tag         string
+	degraded    *dust.Pipeline // nil when no distinct ANN view exists
+	degradedTag string
 }
 
 // newSnapshot freezes p (which must not be mutated afterwards except by
-// cloning) behind a query view bounded to queryWorkers.
+// cloning) behind a query view bounded to queryWorkers, plus a degraded
+// ANN view when the pipeline offers one and is not already in ANN mode.
 func newSnapshot(p *dust.Pipeline, queryWorkers int) *Snapshot {
-	return &Snapshot{master: p, query: p.QueryBound(queryWorkers), tag: p.ConfigTag()}
+	s := &Snapshot{master: p, query: p.QueryBound(queryWorkers), tag: p.ConfigTag()}
+	if view, ok := p.ModeView(search.ANN); ok && view.ConfigTag() != s.tag {
+		s.degraded = view.QueryBound(queryWorkers)
+		s.degradedTag = view.ConfigTag()
+	}
+	return s
 }
 
 // Epoch returns the index mutation epoch of this snapshot.

@@ -955,6 +955,93 @@ func (s *Searcher) QueryWorkers(n int) search.Searcher {
 // querying starts.
 func (s *Searcher) Instrument(st *StageTimings) { s.timings = st }
 
+// ShardMaintenanceStats returns every shard's own tombstone debt, indexed
+// by shard — the per-shard view a maintainer (or an operator dashboard)
+// drills into when the merged MaintenanceStats trips a threshold. Shards
+// whose searcher is not Maintainable report zero stats.
+func (s *Searcher) ShardMaintenanceStats() []search.MaintenanceStats {
+	out := make([]search.MaintenanceStats, len(s.subs))
+	for i, sub := range s.subs {
+		if m, ok := sub.(search.Maintainable); ok {
+			out[i] = m.MaintenanceStats()
+		}
+	}
+	return out
+}
+
+// MaintenanceStats implements search.Maintainable as the merged per-shard
+// view: counts sum across shards, dead fractions take the per-shard
+// maximum (one rotten shard should trip the maintainer even if the rest
+// of the lake is clean).
+func (s *Searcher) MaintenanceStats() search.MaintenanceStats {
+	var agg search.MaintenanceStats
+	for _, st := range s.ShardMaintenanceStats() {
+		agg = agg.Merge(st)
+	}
+	return agg
+}
+
+// SetAutoCompact implements search.Maintainable by fanning the policy to
+// every shard.
+func (s *Searcher) SetAutoCompact(on bool) {
+	for _, sub := range s.subs {
+		if m, ok := sub.(search.Maintainable); ok {
+			m.SetAutoCompact(on)
+		}
+	}
+}
+
+// Compact implements search.Maintainable: every shard compacts its own
+// tombstoned structures (in parallel on the family pool — compaction runs
+// on clones, off the query path, so the pool is otherwise idle for this
+// searcher). Reports whether any shard did work.
+func (s *Searcher) Compact() bool {
+	maints := make([]search.Maintainable, len(s.subs))
+	for i, sub := range s.subs {
+		if m, ok := sub.(search.Maintainable); ok {
+			maints[i] = m
+		}
+	}
+	did := make([]bool, len(maints))
+	s.runScatter(len(maints), func(i int) {
+		if maints[i] != nil {
+			did[i] = maints[i].Compact()
+		}
+	})
+	for _, d := range did {
+		if d {
+			return true
+		}
+	}
+	return false
+}
+
+// ModeView implements search.ModeViewer: a shallow copy of the shard set
+// whose sub-searchers are themselves mode views, sharing all index state
+// (graphs included) with the originals. The view keeps the family pool —
+// it serves queries exactly like the original — and is unavailable unless
+// every shard can produce the requested view.
+func (s *Searcher) ModeView(m search.Mode) (search.Searcher, bool) {
+	if m == s.mode {
+		return s, true
+	}
+	c := *s
+	c.mode = m
+	c.subs = make([]search.Searcher, len(s.subs))
+	for i, sub := range s.subs {
+		mv, ok := sub.(search.ModeViewer)
+		if !ok {
+			return nil, false
+		}
+		v, ok := mv.ModeView(m)
+		if !ok {
+			return nil, false
+		}
+		c.subs[i] = v
+	}
+	return &c, true
+}
+
 // Close releases the scatter pool's worker goroutines. The pool is shared
 // by every clone in the searcher's family, so call Close once the whole
 // family is done serving — dust.Pipeline.Close does this at pipeline
