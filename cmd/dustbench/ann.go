@@ -22,6 +22,7 @@ type annReport struct {
 	K          int     `json:"k"`
 	Oversample float64 `json:"oversample"`
 	EfSearch   int     `json:"ef_search"`
+	Quantized  bool    `json:"quantized"`
 	IndexMS    float64 `json:"index_ms"`
 	GraphMS    float64 `json:"graph_build_ms"`
 	ExactMS    float64 `json:"exact_ms_per_query"`
@@ -34,8 +35,10 @@ type annReport struct {
 // TopK against HNSW candidates + exact re-rank over a generated lake,
 // with recall@k measured against the exact oracle, and writes the JSON
 // report to out. The full-scale lake holds 10k tables; -quick drops to
-// 1k so the run finishes in seconds.
-func runANNBench(searcher string, quick bool, k int, out string) error {
+// 1k so the run finishes in seconds. oversample/efSearch reshape the
+// candidate stage (0 keeps the defaults); quantized builds the graph
+// with SQ8 storage.
+func runANNBench(searcher string, quick bool, k int, oversample float64, efSearch int, quantized bool, out string) error {
 	cfg := datagen.Config{
 		Seed: 997, Domains: 10, TablesPerBase: 1000, QueriesPerBase: 1,
 		BaseRows: 30, MinRows: 4, MaxRows: 8,
@@ -52,6 +55,13 @@ func runANNBench(searcher string, quick bool, k int, out string) error {
 		K:          k,
 		Oversample: search.DefaultOversample,
 		EfSearch:   search.DefaultEfSearch,
+		Quantized:  quantized,
+	}
+	if oversample > 0 {
+		rep.Oversample = oversample
+	}
+	if efSearch > 0 {
+		rep.EfSearch = efSearch
 	}
 
 	// One searcher instance serves both passes: the exact pass runs in
@@ -64,11 +74,15 @@ func runANNBench(searcher string, quick bool, k int, out string) error {
 	start := time.Now()
 	switch searcher {
 	case "starmie":
-		s := search.NewStarmie(bench.Lake)
+		s := search.NewStarmie(bench.Lake, search.WithQuantized(quantized))
+		s.SetOversample(oversample)
+		s.SetEfSearch(efSearch)
 		run = func(q *table.Table) []string { return scoredKeys(s.TopK(q, k)) }
 		toANN = func() error { return s.SetMode(search.ANN) }
 	case "tuples":
-		ts := search.NewTupleSearch(bench.Lake.Tables())
+		ts := search.NewTupleSearch(bench.Lake.Tables(), search.WithQuantized(quantized))
+		ts.SetOversample(oversample)
+		ts.SetEfSearch(efSearch)
 		rep.Tuples = ts.Len()
 		run = func(q *table.Table) []string { return tupleKeys(ts.TopK(q, k)) }
 		toANN = func() error { return ts.SetMode(search.ANN) }

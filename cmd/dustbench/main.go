@@ -50,6 +50,11 @@ func main() {
 		annOut     = flag.String("ann-out", "BENCH_ann.json", "where -ann writes its JSON report")
 		shards     = flag.Int("shards", 0, "benchmark the sharded scatter-gather index with N shards (monolithic vs sharded TopK + throughput) instead of the paper experiments")
 		shardOut   = flag.String("shard-out", "BENCH_shard.json", "where -shards writes its JSON report")
+		scale      = flag.Int("scale", 0, "benchmark the ANN index at lake scale with N tables (float vs SQ8-quantized storage: resident bytes, build time, latency, recall) instead of the paper experiments; the headline run uses 100000")
+		scaleOut   = flag.String("scale-out", "BENCH_scale.json", "where -scale writes its JSON report")
+		quantized  = flag.Bool("quantized", false, "build the -ann benchmark's graph with SQ8 scalar-quantized storage")
+		oversample = flag.Float64("oversample", 0, "ANN candidate oversampling factor for the retrieval benchmarks (0 = default)")
+		efSearch   = flag.Int("ef-search", 0, "HNSW traversal beam width for the retrieval benchmarks (0 = default)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
@@ -85,7 +90,14 @@ func main() {
 	}
 
 	if *ann {
-		if err := runANNBench(*searcher, *quick, *annK, *annOut); err != nil {
+		if err := runANNBench(*searcher, *quick, *annK, *oversample, *efSearch, *quantized, *annOut); err != nil {
+			fmt.Fprintln(os.Stderr, "dustbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scale > 0 {
+		if err := runScaleBench(*scale, *workers, *annK, *oversample, *efSearch, *scaleOut); err != nil {
 			fmt.Fprintln(os.Stderr, "dustbench:", err)
 			os.Exit(1)
 		}

@@ -29,17 +29,20 @@ import (
 
 func main() {
 	var (
-		queryPath = flag.String("query", "", "query table CSV (required)")
-		lakeDir   = flag.String("lake", "", "directory of lake CSVs (required)")
-		k         = flag.Int("k", 20, "number of diverse tuples")
-		topTables = flag.Int("tables", 10, "unionable tables to retrieve")
-		modelPath = flag.String("model", "", "fine-tuned model from dusttrain (optional)")
-		outPath   = flag.String("out", "", "write result CSV here instead of stdout")
-		workers   = flag.Int("workers", 0, "parallelism of indexing/embedding/diversification (0 = all cores, 1 = sequential)")
-		indexDir  = flag.String("index-dir", "", "saved-index directory: warm-start from it when present, create it otherwise")
-		saveIndex = flag.Bool("save-index", false, "rebuild the index and save it to -index-dir even if one exists")
-		ann       = flag.Bool("ann", false, "approximate candidate retrieval (HNSW) with exact re-ranking; trades a little recall for lake-size-independent latency. -ann=false forces exact retrieval even for an index saved in ANN mode; omit the flag to follow the saved index")
-		shards    = flag.Int("shards", 1, "partition the index into N scatter-gather shards (1 = monolithic); exact-mode results are identical either way. Applies to cold builds only: a warm start keeps the layout saved in -index-dir")
+		queryPath  = flag.String("query", "", "query table CSV (required)")
+		lakeDir    = flag.String("lake", "", "directory of lake CSVs (required)")
+		k          = flag.Int("k", 20, "number of diverse tuples")
+		topTables  = flag.Int("tables", 10, "unionable tables to retrieve")
+		modelPath  = flag.String("model", "", "fine-tuned model from dusttrain (optional)")
+		outPath    = flag.String("out", "", "write result CSV here instead of stdout")
+		workers    = flag.Int("workers", 0, "parallelism of indexing/embedding/diversification (0 = all cores, 1 = sequential)")
+		indexDir   = flag.String("index-dir", "", "saved-index directory: warm-start from it when present, create it otherwise")
+		saveIndex  = flag.Bool("save-index", false, "rebuild the index and save it to -index-dir even if one exists")
+		ann        = flag.Bool("ann", false, "approximate candidate retrieval (HNSW) with exact re-ranking; trades a little recall for lake-size-independent latency. -ann=false forces exact retrieval even for an index saved in ANN mode; omit the flag to follow the saved index")
+		shards     = flag.Int("shards", 1, "partition the index into N scatter-gather shards (1 = monolithic); exact-mode results are identical either way. Applies to cold builds only: a warm start keeps the layout saved in -index-dir")
+		quantized  = flag.Bool("quantized", false, "SQ8 scalar-quantized graph storage (~4x less resident index memory); candidates are still re-ranked exactly, so exact-mode results are unchanged")
+		oversample = flag.Float64("oversample", 0, "ANN candidate oversampling factor: retrieve about N*k candidates before exact re-ranking (0 = default)")
+		efSearch   = flag.Int("ef-search", 0, "HNSW traversal beam width of the ANN candidate stage (0 = default)")
 	)
 	flag.Parse()
 	if *queryPath == "" || *lakeDir == "" {
@@ -59,7 +62,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := []dust.Option{dust.WithTopTables(*topTables), dust.WithWorkers(*workers), dust.WithShards(*shards)}
+	opts := []dust.Option{
+		dust.WithTopTables(*topTables), dust.WithWorkers(*workers), dust.WithShards(*shards),
+		dust.WithOversample(*oversample), dust.WithEfSearch(*efSearch),
+	}
+	if *quantized {
+		opts = append(opts, dust.WithQuantized(true))
+	}
 	// Tri-state retrieval: an explicit -ann / -ann=false overrides the
 	// mode recorded in a warm-started index; omitting the flag follows it.
 	flag.Visit(func(f *flag.Flag) {

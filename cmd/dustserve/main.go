@@ -48,24 +48,27 @@ import (
 
 func main() {
 	var (
-		lakeDir   = flag.String("lake", "", "directory of lake CSVs (required)")
-		indexDir  = flag.String("index-dir", "", "saved-index directory: warm-start from it when present, create it otherwise")
-		addr      = flag.String("addr", ":8080", "listen address")
-		topTables = flag.Int("tables", 10, "unionable tables retrieved per query")
-		modelPath = flag.String("model", "", "fine-tuned model from dusttrain (optional)")
-		workers   = flag.Int("workers", 0, "index-build parallelism (0 = all cores)")
-		queryWk   = flag.Int("query-workers", 1, "data parallelism inside each request")
-		inflight  = flag.Int("inflight", 0, "max concurrent searches (0 = all cores)")
-		cacheCap  = flag.Int("cache", 1024, "query-result cache capacity (0 disables)")
-		cacheBy   = flag.Int64("cache-bytes", 0, "query-result cache resident-byte cap (0 = entry bound only)")
-		timeout   = flag.Duration("timeout", 30*time.Second, "per-request budget (0 disables)")
-		degrade   = flag.Float64("degrade-threshold", 0, "load factor at which searches degrade to ANN retrieval (or shed with 503 + Retry-After when no ANN view exists); 0 disables cost-aware admission")
-		maintIvl  = flag.Duration("maintenance-interval", 0, "background index-maintenance period: compact tombstone-heavy indexes on a clone off the query path and swap (0 disables; mutations then compact inline past the rebuild threshold)")
-		maintFrac = flag.Float64("maintenance-threshold", serve.DefaultMaintenanceThreshold, "dead-entry fraction at which the maintainer compacts")
-		ann       = flag.Bool("ann", false, "approximate candidate retrieval (HNSW) with exact re-ranking; the graph persists in -index-dir and follows live table mutations. -ann=false forces exact retrieval even for an index saved in ANN mode; omit the flag to follow the saved index")
-		shards    = flag.Int("shards", 1, "partition the index into N scatter-gather shards (1 = monolithic); table mutations route to the owning shard and exact-mode results are identical either way. Applies to cold builds only: a warm start keeps the layout saved in -index-dir")
-		logReqs   = flag.Bool("log-requests", false, "log one JSON line per request to stderr (method, endpoint, status, duration, cache outcome, per-stage search timings)")
-		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
+		lakeDir    = flag.String("lake", "", "directory of lake CSVs (required)")
+		indexDir   = flag.String("index-dir", "", "saved-index directory: warm-start from it when present, create it otherwise")
+		addr       = flag.String("addr", ":8080", "listen address")
+		topTables  = flag.Int("tables", 10, "unionable tables retrieved per query")
+		modelPath  = flag.String("model", "", "fine-tuned model from dusttrain (optional)")
+		workers    = flag.Int("workers", 0, "index-build parallelism (0 = all cores)")
+		queryWk    = flag.Int("query-workers", 1, "data parallelism inside each request")
+		inflight   = flag.Int("inflight", 0, "max concurrent searches (0 = all cores)")
+		cacheCap   = flag.Int("cache", 1024, "query-result cache capacity (0 disables)")
+		cacheBy    = flag.Int64("cache-bytes", 0, "query-result cache resident-byte cap (0 = entry bound only)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request budget (0 disables)")
+		degrade    = flag.Float64("degrade-threshold", 0, "load factor at which searches degrade to ANN retrieval (or shed with 503 + Retry-After when no ANN view exists); 0 disables cost-aware admission")
+		maintIvl   = flag.Duration("maintenance-interval", 0, "background index-maintenance period: compact tombstone-heavy indexes on a clone off the query path and swap (0 disables; mutations then compact inline past the rebuild threshold)")
+		maintFrac  = flag.Float64("maintenance-threshold", serve.DefaultMaintenanceThreshold, "dead-entry fraction at which the maintainer compacts")
+		ann        = flag.Bool("ann", false, "approximate candidate retrieval (HNSW) with exact re-ranking; the graph persists in -index-dir and follows live table mutations. -ann=false forces exact retrieval even for an index saved in ANN mode; omit the flag to follow the saved index")
+		quantized  = flag.Bool("quantized", false, "SQ8 scalar-quantized graph storage (~4x less resident index memory); candidates are still re-ranked exactly, so exact-mode results are unchanged. A warm-started graph keeps its stored representation until its next rebuild")
+		oversample = flag.Float64("oversample", 0, "ANN candidate oversampling factor: retrieve about N*k candidates before exact re-ranking (0 = default)")
+		efSearch   = flag.Int("ef-search", 0, "HNSW traversal beam width of the ANN candidate stage (0 = default)")
+		shards     = flag.Int("shards", 1, "partition the index into N scatter-gather shards (1 = monolithic); table mutations route to the owning shard and exact-mode results are identical either way. Applies to cold builds only: a warm start keeps the layout saved in -index-dir")
+		logReqs    = flag.Bool("log-requests", false, "log one JSON line per request to stderr (method, endpoint, status, duration, cache outcome, per-stage search timings)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	)
 	flag.Parse()
 	if *lakeDir == "" {
@@ -77,7 +80,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := []dust.Option{dust.WithTopTables(*topTables), dust.WithWorkers(*workers), dust.WithShards(*shards)}
+	opts := []dust.Option{
+		dust.WithTopTables(*topTables), dust.WithWorkers(*workers), dust.WithShards(*shards),
+		dust.WithOversample(*oversample), dust.WithEfSearch(*efSearch),
+	}
+	if *quantized {
+		opts = append(opts, dust.WithQuantized(true))
+	}
 	// Tri-state retrieval: an explicit -ann / -ann=false overrides the
 	// mode recorded in a warm-started index; omitting the flag follows it.
 	flag.Visit(func(f *flag.Flag) {

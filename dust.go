@@ -38,17 +38,21 @@ import (
 // Pipeline wires the four stages of Algorithm 1. Construct with New and
 // customize with the With* options.
 type Pipeline struct {
-	lake        *lake.Lake
-	searcher    search.Searcher
-	columnEnc   embed.ColumnEncoder
-	tupleEnc    model.TupleEncoder
-	diversifier diversify.Algorithm
-	dist        vector.DistanceFunc
-	topTables   int
-	workers     int
-	workersSet  bool
-	retrieval   search.Mode
-	shards      int
+	lake         *lake.Lake
+	searcher     search.Searcher
+	columnEnc    embed.ColumnEncoder
+	tupleEnc     model.TupleEncoder
+	diversifier  diversify.Algorithm
+	dist         vector.DistanceFunc
+	topTables    int
+	workers      int
+	workersSet   bool
+	retrieval    search.Mode
+	shards       int
+	quantized    bool
+	quantizedSet bool
+	oversample   float64
+	efSearch     int
 	// epoch counts index mutations (AddTable/RemoveTable) over the
 	// pipeline's lifetime; see Epoch in persist.go. Serving layers key
 	// result caches by it.
@@ -106,6 +110,34 @@ func WithRetriever(m search.Mode) Option { return func(p *Pipeline) { p.retrieva
 // the shard layout recorded in its manifest.
 func WithShards(n int) Option { return func(p *Pipeline) { p.shards = n } }
 
+// WithQuantized selects SQ8 scalar-quantized storage for the searcher's
+// ANN graphs: stored vectors compress to one int8 code per dimension
+// plus a per-vector scale and offset (about 4x less resident memory at
+// typical dimensions), graph traversal runs on fused integer kernels,
+// and every nominated candidate is still re-ranked by the exact scorer —
+// so exact-mode results are bit-identical with quantization on, and only
+// the ANN candidate stage is approximate (recall governed by the same
+// oversampling as float graphs). Applies when this pipeline builds its
+// graphs (WithRetriever(search.ANN), PrepareANN, or a maintenance
+// rebuild); a graph warm-started from disk keeps its stored
+// representation until its next rebuild. Searchers without a quantized
+// form (D3L) ignore the option.
+func WithQuantized(on bool) Option {
+	return func(p *Pipeline) { p.quantized, p.quantizedSet = on, true }
+}
+
+// WithOversample sets the ANN candidate-stage oversampling factor: a
+// top-k query retrieves about ceil(v*k) nearest candidates before exact
+// re-ranking. Raise it to trade latency for recall. v <= 0 keeps the
+// default (search.DefaultOversample); exact mode ignores it.
+func WithOversample(v float64) Option { return func(p *Pipeline) { p.oversample = v } }
+
+// WithEfSearch sets the HNSW traversal beam width of the searcher's ANN
+// candidate stage. Higher values raise recall at higher per-query cost.
+// ef <= 0 keeps the default (search.DefaultEfSearch); exact mode and
+// searchers without an HNSW stage ignore it.
+func WithEfSearch(ef int) Option { return func(p *Pipeline) { p.efSearch = ef } }
+
 // WithWorkers bounds the parallelism of each pipeline stage — lake
 // indexing, query scoring, tuple embedding, and the diversifier's distance
 // kernels — and the number of queries SearchBatch serves concurrently.
@@ -131,18 +163,36 @@ func New(l *lake.Lake, opts ...Option) *Pipeline {
 		o(p)
 	}
 	if p.searcher == nil {
-		// Built after the options so the default index honours WithWorkers
-		// and WithShards.
+		// Built after the options so the default index honours WithWorkers,
+		// WithShards, and WithQuantized.
 		if p.shards > 1 {
-			p.searcher = shard.NewStarmie(l, p.shards, shard.Config{Workers: p.workers})
+			p.searcher = shard.NewStarmie(l, p.shards,
+				shard.Config{Workers: p.workers, Quantized: p.quantized})
 		} else {
-			p.searcher = search.NewStarmie(l, search.WithWorkers(p.workers))
+			p.searcher = search.NewStarmie(l,
+				search.WithWorkers(p.workers), search.WithQuantized(p.quantized))
 		}
 	} else if p.workersSet {
 		// An explicit WithWorkers also re-bounds a supplied searcher's
 		// query-time scoring; without it the searcher keeps its own bound.
 		if qb, ok := p.searcher.(search.QueryBounded); ok {
 			p.searcher = qb.QueryWorkers(p.workers)
+		}
+	}
+	// Retrieval tuning applies to supplied and warm-started searchers too,
+	// and quantization lands before the mode flip below so a graph built by
+	// SetMode comes up in the requested storage directly.
+	if p.quantizedSet {
+		if q, ok := p.searcher.(interface{ SetQuantized(bool) }); ok {
+			q.SetQuantized(p.quantized)
+		}
+	}
+	if t, ok := p.searcher.(search.Tunable); ok {
+		if p.oversample > 0 {
+			t.SetOversample(p.oversample)
+		}
+		if p.efSearch > 0 {
+			t.SetEfSearch(p.efSearch)
 		}
 	}
 	if p.retrieval != search.Exact {
@@ -484,6 +534,32 @@ func (p *Pipeline) ShardSizes() []int {
 		sizes[i] = len(names)
 	}
 	return sizes
+}
+
+// IndexBytes reports the resident footprint of the searcher's ANN index
+// structures (summed across shards for a sharded searcher): the storage
+// kind — "quantized", "float", "none" when no graph is installed, or
+// "mixed" for a heterogeneous shard set — and the estimated bytes. The
+// serving layer exports it as the dust_index_bytes gauge.
+func (p *Pipeline) IndexBytes() search.IndexFootprint {
+	if sz, ok := p.searcher.(search.IndexSizer); ok {
+		st, b := sz.IndexBytes()
+		return search.IndexFootprint{Storage: st, Bytes: b}
+	}
+	return search.IndexFootprint{Storage: "none"}
+}
+
+// ShardIndexBytes reports the per-shard resident index footprints of a
+// sharded searcher in shard order, or nil for a monolithic index —
+// the per-shard series behind the serving layer's dust_index_bytes
+// gauge.
+func (p *Pipeline) ShardIndexBytes() []search.IndexFootprint {
+	if s, ok := p.searcher.(interface {
+		ShardIndexBytes() []search.IndexFootprint
+	}); ok {
+		return s.ShardIndexBytes()
+	}
+	return nil
 }
 
 // InstrumentScatter attaches st to the pipeline's sharded searcher so the

@@ -1,9 +1,20 @@
 // Package ann implements the approximate candidate-generation backend of
 // the staged query plan (retrieve -> score -> diversify): a Hierarchical
-// Navigable Small World graph (Malkov & Yashunin) over normalized float32
-// vectors, searched with the fused squared-euclidean kernel — monotone in
-// cosine similarity for unit vectors, so the nearest candidates under it
-// are the highest-cosine ones with no sqrt per hop.
+// Navigable Small World graph (Malkov & Yashunin) over normalized vectors,
+// searched with a fused squared-euclidean kernel — monotone in cosine
+// similarity for unit vectors, so the nearest candidates under it are the
+// highest-cosine ones with no sqrt per hop.
+//
+// Vectors are stored either as float32 (the original layout) or as SQ8
+// scalar-quantized codes (Config.Quantized): one int8 per dimension plus a
+// per-node (scale, offset, Σc, Σc²) record, cutting resident vector memory
+// 4x. Quantized traversal never reconstructs float vectors — node-to-node
+// distances reduce to an int8 dot product plus O(1) algebra, and a query's
+// float vector is folded in through the asymmetric kernel with its own
+// Σq/Σq² computed once per search (see vector.DotCodes). Because the
+// candidates an index nominates are always re-ranked with exact
+// float64 scoring by the owning searcher, quantization moves recall only
+// through nomination quality, never through final scores.
 //
 // The index is append-only with tombstoned deletion: Remove marks a node
 // dead so searches skip it in their results while still traversing it for
@@ -17,7 +28,10 @@
 // from a shared RNG, so the graph produced by a given insertion sequence
 // is identical across runs, worker counts, and processes — which is what
 // lets recall tests, golden files, and the incremental-vs-rebuilt
-// equivalence harness pin ANN behavior at all.
+// equivalence harness pin ANN behavior at all. Build extends the contract
+// to parallel construction: batches plan against a frozen graph prefix and
+// commit in id order, so the built graph is bit-identical at every worker
+// count.
 package ann
 
 import (
@@ -49,6 +63,7 @@ type Config struct {
 	M              int    // max neighbors per node per layer (base layer: 2M)
 	EfConstruction int    // insertion beam width
 	Seed           uint64 // level-hash salt
+	Quantized      bool   // store SQ8 codes instead of float32 vectors
 }
 
 func (c *Config) defaults() {
@@ -72,8 +87,22 @@ type Index struct {
 	efCon int
 	seed  uint64
 	mL    float64 // level multiplier, 1/ln(M)
+	quant bool
 
-	vecs    []vector.Vec32
+	// Float storage (quant == false): one slice per node.
+	vecs []vector.Vec32
+
+	// Quantized storage (quant == true): codes is the flat n×dim int8
+	// code matrix (node id strides by dim); qscale/qoff are the per-node
+	// affine dequantization parameters and qs1/qs2 the cached code sums
+	// (Σc, Σc²) that make every distance one dot product plus O(1)
+	// algebra.
+	codes  []int8
+	qscale []float32
+	qoff   []float32
+	qs1    []int32
+	qs2    []int32
+
 	levels  []int32
 	links   [][][]int32 // node -> layer -> neighbor ids
 	deleted []bool
@@ -81,10 +110,21 @@ type Index struct {
 	entry   int32 // -1 while empty
 	maxLvl  int32
 
-	// scratch pools the beam search's visited sets so a query does not
-	// pay an O(total nodes) allocate-and-zero per layer; a pointer so
-	// clones (and the shallow copies Clone starts from) share it safely.
+	// scratch pools per-search state — the visited set and both beam
+	// heaps — so one query pays a single Get instead of an allocation
+	// per searchLayer call; a pointer so clones (and the shallow copies
+	// Clone starts from) share it safely.
 	scratch *sync.Pool
+}
+
+// searchScratch is the reusable state of one traversal: a visited set and
+// the two beam heaps. One instance serves a whole Search or insertion
+// (every searchLayer call reuses it), and instances are pooled across
+// searches.
+type searchScratch struct {
+	visited visitSet
+	cand    minHeap
+	beam    maxHeap
 }
 
 // visitSet is a generation-stamped visited set: marking and testing are
@@ -129,8 +169,9 @@ func New(dim int, cfg Config) *Index {
 		efCon:   cfg.EfConstruction,
 		seed:    cfg.Seed,
 		mL:      1 / math.Log(float64(cfg.M)),
+		quant:   cfg.Quantized,
 		entry:   -1,
-		scratch: &sync.Pool{New: func() any { return new(visitSet) }},
+		scratch: &sync.Pool{New: func() any { return new(searchScratch) }},
 	}
 }
 
@@ -138,24 +179,73 @@ func New(dim int, cfg Config) *Index {
 func (ix *Index) Dim() int { return ix.dim }
 
 // Len returns the number of nodes, tombstones included.
-func (ix *Index) Len() int { return len(ix.vecs) }
+func (ix *Index) Len() int { return len(ix.levels) }
 
 // Live returns the number of non-tombstoned nodes.
-func (ix *Index) Live() int { return len(ix.vecs) - ix.nDel }
+func (ix *Index) Live() int { return ix.Len() - ix.nDel }
 
 // Deleted reports whether id is tombstoned.
 func (ix *Index) Deleted(id int) bool { return ix.deleted[id] }
 
 // DeletedFraction returns the tombstone share, the owner's rebuild signal.
 func (ix *Index) DeletedFraction() float64 {
-	if len(ix.vecs) == 0 {
+	if ix.Len() == 0 {
 		return 0
 	}
-	return float64(ix.nDel) / float64(len(ix.vecs))
+	return float64(ix.nDel) / float64(ix.Len())
 }
 
-// Vec returns the stored vector of a node. Callers must not mutate it.
-func (ix *Index) Vec(id int) vector.Vec32 { return ix.vecs[id] }
+// Quantized reports whether the index stores SQ8 codes instead of float32
+// vectors.
+func (ix *Index) Quantized() bool { return ix.quant }
+
+// Vec returns the stored vector of a node. For a float index this is the
+// stored slice and callers must not mutate it; for a quantized index it is
+// a freshly dequantized (lossy) copy.
+func (ix *Index) Vec(id int) vector.Vec32 {
+	if !ix.quant {
+		return ix.vecs[id]
+	}
+	return vector.Dequantize(vector.QVec32{
+		Codes:  ix.codeAt(int32(id)),
+		Scale:  ix.qscale[id],
+		Offset: ix.qoff[id],
+	})
+}
+
+// VectorBytes returns the resident bytes of vector storage alone: float32
+// payloads for a float index, int8 codes plus the 16-byte per-node
+// quantization record for a quantized one. This is the number the 4x
+// memory claim is about; Bytes adds the adjacency lists shared by both
+// layouts.
+func (ix *Index) VectorBytes() int64 {
+	if ix.quant {
+		return int64(len(ix.codes)) + int64(len(ix.qscale))*16
+	}
+	var b int64
+	for _, v := range ix.vecs {
+		b += int64(len(v)) * 4
+	}
+	return b
+}
+
+// Bytes estimates the index's total resident footprint: vector storage
+// plus adjacency lists and per-node bookkeeping (slice headers included,
+// allocator slack not).
+func (ix *Index) Bytes() int64 {
+	b := ix.VectorBytes()
+	for _, layers := range ix.links {
+		b += 24 // layer-slice header
+		for _, nbs := range layers {
+			b += 24 + int64(len(nbs))*4
+		}
+	}
+	b += int64(ix.Len()) * (4 + 1) // levels + tombstones
+	if !ix.quant {
+		b += int64(ix.Len()) * 24 // per-vector slice headers
+	}
+	return b
+}
 
 // item is one (distance, node) pair; all orderings tie-break on id so
 // traversal is deterministic.
@@ -184,51 +274,198 @@ func (ix *Index) levelFor(id int) int {
 	return l
 }
 
-// Add inserts a vector (copied) and returns its node id.
+// codeAt returns node id's row of the flat code matrix.
+func (ix *Index) codeAt(id int32) []int8 {
+	off := int(id) * ix.dim
+	return ix.codes[off : off+ix.dim]
+}
+
+// nodeDist is the distance between two stored nodes. For quantized
+// storage it expands the squared distance of the two reconstructions
+// algebraically over the cached per-node sums, so the only per-dimension
+// work is the integer code dot product.
+func (ix *Index) nodeDist(a, b int32) float32 {
+	if !ix.quant {
+		return vector.SquaredEuclidean32(ix.vecs[a], ix.vecs[b])
+	}
+	sa, sb := ix.qscale[a], ix.qscale[b]
+	oa, ob := ix.qoff[a], ix.qoff[b]
+	do := oa - ob
+	dot := vector.DotCodes(ix.codeAt(a), ix.codeAt(b))
+	return float32(ix.dim)*do*do +
+		2*do*(sa*float32(ix.qs1[a])-sb*float32(ix.qs1[b])) +
+		sa*sa*float32(ix.qs2[a]) + sb*sb*float32(ix.qs2[b]) -
+		2*sa*sb*float32(dot)
+}
+
+// queryDist is the asymmetric distance from a float query (with its Σq²
+// and Σq precomputed once per search) to a quantized node: the exact
+// squared distance between q and the node's reconstruction, again one
+// dot product plus O(1) algebra.
+func (ix *Index) queryDist(q vector.Vec32, q2, qs float32, id int32) float32 {
+	s, o := ix.qscale[id], ix.qoff[id]
+	dot := vector.DotF32Codes(q, ix.codeAt(id))
+	term := s*s*float32(ix.qs2[id]) + 2*s*o*float32(ix.qs1[id]) + float32(ix.dim)*o*o
+	return q2 - 2*o*qs - 2*s*dot + term
+}
+
+// probe is a prepared distance source for one traversal: a float query
+// (asymmetric kernel against quantized nodes), or a stored node during
+// insertion (symmetric int8 kernel), or a plain float vector against
+// float storage. Preparing it once hoists the per-search precomputation
+// out of the per-hop path.
+type probe struct {
+	ix *Index
+	v  vector.Vec32 // float query; also the stored vector for float probes
+	id int32        // stored-node probe for quantized storage; -1 otherwise
+	q2 float32      // Σv² (quantized asymmetric path)
+	qs float32      // Σv  (quantized asymmetric path)
+}
+
+func (p probe) dist(to int32) float32 {
+	ix := p.ix
+	if !ix.quant {
+		return vector.SquaredEuclidean32(p.v, ix.vecs[to])
+	}
+	if p.id >= 0 {
+		return ix.nodeDist(p.id, to)
+	}
+	return ix.queryDist(p.v, p.q2, p.qs, to)
+}
+
+// probeFor prepares a probe for stored node id (the insertion vantage).
+func (ix *Index) probeFor(id int32) probe {
+	if ix.quant {
+		return probe{ix: ix, id: id}
+	}
+	return probe{ix: ix, id: -1, v: ix.vecs[id]}
+}
+
+// queryProbe prepares a probe for an external float query.
+func (ix *Index) queryProbe(q vector.Vec32) probe {
+	p := probe{ix: ix, id: -1, v: q}
+	if ix.quant {
+		var q2, qs float32
+		for _, x := range q {
+			q2 += x * x
+			qs += x
+		}
+		p.q2, p.qs = q2, qs
+	}
+	return p
+}
+
+// appendFloat books one node with float32 storage (the vector is copied)
+// and returns its id. The caller must insert the node afterwards.
+func (ix *Index) appendFloat(v vector.Vec32) int32 {
+	stored := make(vector.Vec32, len(v))
+	copy(stored, v)
+	ix.vecs = append(ix.vecs, stored)
+	return ix.appendNode()
+}
+
+// appendCodes books one node with pre-quantized storage (codes are copied
+// verbatim, never re-derived — Compact reuses this so compaction cannot
+// drift the stored representation) and returns its id.
+func (ix *Index) appendCodes(codes []int8, scale, offset float32) int32 {
+	ix.codes = append(ix.codes, codes...)
+	s1, s2 := vector.CodeSums(codes)
+	ix.qscale = append(ix.qscale, scale)
+	ix.qoff = append(ix.qoff, offset)
+	ix.qs1 = append(ix.qs1, s1)
+	ix.qs2 = append(ix.qs2, s2)
+	return ix.appendNode()
+}
+
+// appendVector books storage for v under the index's storage mode.
+func (ix *Index) appendVector(v vector.Vec32) int32 {
+	if ix.quant {
+		q := vector.Quantize(v)
+		return ix.appendCodes(q.Codes, q.Scale, q.Offset)
+	}
+	return ix.appendFloat(v)
+}
+
+// appendNode books the id-parallel graph state for the node whose storage
+// was just appended.
+func (ix *Index) appendNode() int32 {
+	id := int32(len(ix.levels))
+	lvl := ix.levelFor(int(id))
+	ix.levels = append(ix.levels, int32(lvl))
+	ix.deleted = append(ix.deleted, false)
+	ix.links = append(ix.links, make([][]int32, lvl+1))
+	return id
+}
+
+// Add inserts a vector (copied; quantized on the way in when the index is
+// quantized) and returns its node id.
 func (ix *Index) Add(v vector.Vec32) int {
 	if len(v) != ix.dim {
 		panic(fmt.Sprintf("ann: Add dimension %d, index holds %d", len(v), ix.dim))
 	}
-	id := int32(len(ix.vecs))
-	lvl := ix.levelFor(int(id))
-	stored := make(vector.Vec32, len(v))
-	copy(stored, v)
-	ix.vecs = append(ix.vecs, stored)
-	ix.levels = append(ix.levels, int32(lvl))
-	ix.deleted = append(ix.deleted, false)
-	ix.links = append(ix.links, make([][]int32, lvl+1))
-	if ix.entry < 0 {
-		ix.entry, ix.maxLvl = id, int32(lvl)
-		return int(id)
-	}
+	id := ix.appendVector(v)
+	ix.insert(id)
+	return int(id)
+}
 
+// insert links an appended node into the graph: plan against the current
+// graph, then commit. This is the sequential building block shared by
+// Add, Compact, and the warm-up prefix of Build.
+func (ix *Index) insert(id int32) {
+	sc := ix.scratch.Get().(*searchScratch)
+	plan := ix.planNode(id, sc)
+	ix.scratch.Put(sc)
+	ix.commitNode(id, plan)
+}
+
+// planNode runs the insertion navigation for node id against the current
+// graph and returns its selected neighbors per layer (index = layer;
+// layers above the current graph top stay nil). It never modifies the
+// graph, which is what lets Build plan a whole batch concurrently against
+// a frozen prefix.
+func (ix *Index) planNode(id int32, sc *searchScratch) [][]int32 {
+	lvl := int(ix.levels[id])
+	neigh := make([][]int32, lvl+1)
+	if ix.entry < 0 {
+		return neigh
+	}
+	p := ix.probeFor(id)
 	ep := ix.entry
 	for l := int(ix.maxLvl); l > lvl; l-- {
-		ep = ix.greedy(stored, ep, l)
+		ep = ix.greedy(p, ep, l)
 	}
 	top := lvl
 	if int(ix.maxLvl) < top {
 		top = int(ix.maxLvl)
 	}
 	for l := top; l >= 0; l-- {
-		found := ix.searchLayer(stored, ep, ix.efCon, l, false)
-		neigh := ix.selectNeighbors(found, ix.m)
-		ix.links[id][l] = neigh
-		budget := ix.m
-		if l == 0 {
-			budget = 2 * ix.m
-		}
-		for _, nb := range neigh {
-			ix.linkBack(nb, id, l, budget)
-		}
+		found := ix.searchLayer(p, sc, ep, ix.efCon, l, false)
+		neigh[l] = ix.selectNeighbors(found, ix.m)
 		if len(found) > 0 {
 			ep = found[0].id
 		}
 	}
-	if lvl > int(ix.maxLvl) {
-		ix.maxLvl, ix.entry = int32(lvl), id
+	return neigh
+}
+
+// commitNode installs a plan: the node's own links, reciprocal backlinks,
+// and the entry-point bookkeeping. Committing immediately after planning
+// reproduces the classic sequential HNSW insertion exactly.
+func (ix *Index) commitNode(id int32, neigh [][]int32) {
+	ix.links[id] = neigh
+	for l := len(neigh) - 1; l >= 0; l-- {
+		budget := ix.m
+		if l == 0 {
+			budget = 2 * ix.m
+		}
+		for _, nb := range neigh[l] {
+			ix.linkBack(nb, id, l, budget)
+		}
 	}
-	return int(id)
+	lvl := int32(len(neigh) - 1)
+	if ix.entry < 0 || lvl > ix.maxLvl {
+		ix.entry, ix.maxLvl = id, lvl
+	}
 }
 
 // linkBack adds `id` to nb's layer-l neighbor list, re-selecting the list
@@ -241,7 +478,7 @@ func (ix *Index) linkBack(nb, id int32, l, budget int) {
 	}
 	cands := make([]item, len(list))
 	for i, o := range list {
-		cands[i] = item{vector.SquaredEuclidean32(ix.vecs[nb], ix.vecs[o]), o}
+		cands[i] = item{ix.nodeDist(nb, o), o}
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].less(cands[j]) })
 	ix.links[nb][l] = ix.selectNeighbors(cands, budget)
@@ -262,7 +499,7 @@ func (ix *Index) selectNeighbors(cands []item, m int) []int32 {
 		}
 		keep := true
 		for _, s := range out {
-			if vector.SquaredEuclidean32(ix.vecs[c.id], ix.vecs[s]) < c.d {
+			if ix.nodeDist(c.id, s) < c.d {
 				keep = false
 				break
 			}
@@ -283,13 +520,13 @@ func (ix *Index) selectNeighbors(cands []item, m int) []int32 {
 }
 
 // greedy descends one layer: repeatedly hop to the neighbor strictly
-// closer to q (ties to the smaller id, so the walk cannot cycle).
-func (ix *Index) greedy(q vector.Vec32, ep int32, layer int) int32 {
-	best := vector.SquaredEuclidean32(q, ix.vecs[ep])
+// closer to the probe (ties to the smaller id, so the walk cannot cycle).
+func (ix *Index) greedy(p probe, ep int32, layer int) int32 {
+	best := p.dist(ep)
 	for {
 		improved := false
 		for _, nb := range ix.links[ep][layer] {
-			if d := vector.SquaredEuclidean32(q, ix.vecs[nb]); d < best || (d == best && nb < ep) {
+			if d := p.dist(nb); d < best || (d == best && nb < ep) {
 				best, ep, improved = d, nb, true
 			}
 		}
@@ -302,18 +539,18 @@ func (ix *Index) greedy(q vector.Vec32, ep int32, layer int) int32 {
 // searchLayer is the HNSW beam search over one layer: keep the ef closest
 // admissible nodes seen, expand the closest unexpanded candidate, stop
 // once the next candidate cannot improve the beam. Returns the beam
-// sorted by (distance, id). With liveOnly, tombstoned nodes are still
-// traversed — deletions never disconnect the graph — but never occupy a
-// beam slot, so queries keep their full ef of live results without
-// widening the beam by the tombstone count.
-func (ix *Index) searchLayer(q vector.Vec32, ep int32, ef, layer int, liveOnly bool) []item {
-	visited := ix.scratch.Get().(*visitSet)
-	defer ix.scratch.Put(visited)
-	visited.next(len(ix.vecs))
-	visited.visit(ep)
-	first := item{vector.SquaredEuclidean32(q, ix.vecs[ep]), ep}
-	cand := minHeap{first}
-	var beam maxHeap
+// sorted by (distance, id); the returned slice aliases sc and is valid
+// only until the next searchLayer call on the same scratch. With
+// liveOnly, tombstoned nodes are still traversed — deletions never
+// disconnect the graph — but never occupy a beam slot, so queries keep
+// their full ef of live results without widening the beam by the
+// tombstone count.
+func (ix *Index) searchLayer(p probe, sc *searchScratch, ep int32, ef, layer int, liveOnly bool) []item {
+	sc.visited.next(ix.Len())
+	sc.visited.visit(ep)
+	first := item{p.dist(ep), ep}
+	cand := append(sc.cand[:0], first)
+	beam := sc.beam[:0]
 	if !liveOnly || !ix.deleted[ep] {
 		beam.push(first)
 	}
@@ -323,10 +560,10 @@ func (ix *Index) searchLayer(q vector.Vec32, ep int32, ef, layer int, liveOnly b
 			break
 		}
 		for _, nb := range ix.links[c.id][layer] {
-			if !visited.visit(nb) {
+			if !sc.visited.visit(nb) {
 				continue
 			}
-			it := item{vector.SquaredEuclidean32(q, ix.vecs[nb]), nb}
+			it := item{p.dist(nb), nb}
 			if len(beam) < ef || it.less(beam[0]) {
 				cand.push(it)
 				if liveOnly && ix.deleted[nb] {
@@ -339,6 +576,8 @@ func (ix *Index) searchLayer(q vector.Vec32, ep int32, ef, layer int, liveOnly b
 			}
 		}
 	}
+	sc.cand = cand[:0]
+	sc.beam = beam[:0]
 	out := []item(beam)
 	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
 	return out
@@ -358,14 +597,17 @@ func (ix *Index) Search(q vector.Vec32, n, ef int) []int {
 	if ef < n {
 		ef = n
 	}
-	if ef > len(ix.vecs) {
-		ef = len(ix.vecs)
+	if ef > ix.Len() {
+		ef = ix.Len()
 	}
+	p := ix.queryProbe(q)
+	sc := ix.scratch.Get().(*searchScratch)
+	defer ix.scratch.Put(sc)
 	ep := ix.entry
 	for l := int(ix.maxLvl); l > 0; l-- {
-		ep = ix.greedy(q, ep, l)
+		ep = ix.greedy(p, ep, l)
 	}
-	found := ix.searchLayer(q, ep, ef, 0, true)
+	found := ix.searchLayer(p, sc, ep, ef, 0, true)
 	if len(found) > n {
 		found = found[:n]
 	}
@@ -380,8 +622,8 @@ func (ix *Index) Search(q vector.Vec32, n, ef int) []int {
 // keeps routing traffic until the owner rebuilds. Removing an unknown or
 // already-removed id is an error so owners catch bookkeeping bugs.
 func (ix *Index) Remove(id int) error {
-	if id < 0 || id >= len(ix.vecs) {
-		return fmt.Errorf("ann: Remove(%d): id out of range [0,%d)", id, len(ix.vecs))
+	if id < 0 || id >= ix.Len() {
+		return fmt.Errorf("ann: Remove(%d): id out of range [0,%d)", id, ix.Len())
 	}
 	if ix.deleted[id] {
 		return fmt.Errorf("ann: Remove(%d): already removed", id)
@@ -393,18 +635,27 @@ func (ix *Index) Remove(id int) error {
 
 // Compact returns a fresh index holding only the live nodes, re-inserted
 // in id order — their original insertion order, so a compacted graph is
-// as deterministic as an incrementally built one. onLive reports each
-// survivor's (old id, new id) pair in insertion order so owners can
-// rebook their id-parallel state. The receiver is not modified.
+// as deterministic as an incrementally built one. Quantized nodes carry
+// their codes over verbatim (no re-quantization), so compaction preserves
+// stored representations — and therefore distances — exactly. onLive
+// reports each survivor's (old id, new id) pair in insertion order so
+// owners can rebook their id-parallel state. The receiver is not
+// modified.
 func (ix *Index) Compact(onLive func(oldID, newID int)) *Index {
-	out := New(ix.dim, Config{M: ix.m, EfConstruction: ix.efCon, Seed: ix.seed})
-	for id := range ix.vecs {
+	out := New(ix.dim, Config{M: ix.m, EfConstruction: ix.efCon, Seed: ix.seed, Quantized: ix.quant})
+	for id := 0; id < ix.Len(); id++ {
 		if ix.deleted[id] {
 			continue
 		}
-		nid := out.Add(ix.vecs[id])
+		var nid int32
+		if ix.quant {
+			nid = out.appendCodes(ix.codeAt(int32(id)), ix.qscale[id], ix.qoff[id])
+		} else {
+			nid = out.appendFloat(ix.vecs[id])
+		}
+		out.insert(nid)
 		if onLive != nil {
-			onLive(id, nid)
+			onLive(id, int(nid))
 		}
 	}
 	return out
@@ -412,13 +663,21 @@ func (ix *Index) Compact(onLive func(oldID, newID int)) *Index {
 
 // Clone returns an independently mutable copy: adjacency lists and
 // tombstones are deep-copied (insertion rewires neighbors in place) while
-// the vectors themselves — immutable once stored — are shared. Serving
-// layers mutate the clone and atomically swap it in; searches in flight
-// on the original keep reading a frozen graph.
+// the vector payloads — immutable once stored — are shared. Float
+// storage shares the per-node slices behind a copied header slice;
+// quantized storage shares the flat arrays behind capacity-clamped views,
+// so an Add on either side reallocates instead of writing into the other
+// side's tail. Serving layers mutate the clone and atomically swap it in;
+// searches in flight on the original keep reading a frozen graph.
 func (ix *Index) Clone() *Index {
 	c := *ix
 	c.vecs = make([]vector.Vec32, len(ix.vecs))
 	copy(c.vecs, ix.vecs)
+	c.codes = ix.codes[:len(ix.codes):len(ix.codes)]
+	c.qscale = ix.qscale[:len(ix.qscale):len(ix.qscale)]
+	c.qoff = ix.qoff[:len(ix.qoff):len(ix.qoff)]
+	c.qs1 = ix.qs1[:len(ix.qs1):len(ix.qs1)]
+	c.qs2 = ix.qs2[:len(ix.qs2):len(ix.qs2)]
 	c.levels = make([]int32, len(ix.levels))
 	copy(c.levels, ix.levels)
 	c.deleted = make([]bool, len(ix.deleted))

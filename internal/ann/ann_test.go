@@ -1,8 +1,10 @@
 package ann
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -276,15 +278,247 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	}
 }
 
+func encodeBytes(ix *Index) []byte {
+	var b codec.Buffer
+	ix.Encode(&b)
+	return b.Bytes()
+}
+
+// Build must be a pure function of (vecs, cfg): the worker count may only
+// change wall-clock time, never a single byte of the built graph. This is
+// the contract that makes parallel builds shippable — a saved index is
+// reproducible regardless of the machine that built it.
+func TestBuildWorkersBitIdentical(t *testing.T) {
+	vecs := clusteredVecs(1500, 24, 6, 71)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"float", Config{}},
+		{"quantized", Config{Quantized: true}},
+	} {
+		base := encodeBytes(Build(24, vecs, tc.cfg, 1))
+		for _, w := range []int{2, 4, 8} {
+			if got := encodeBytes(Build(24, vecs, tc.cfg, w)); !bytes.Equal(base, got) {
+				t.Fatalf("%s: workers=%d built a different graph than workers=1", tc.name, w)
+			}
+		}
+	}
+}
+
+// Below the warm prefix Build has no batches to run, so it must match a
+// plain Add loop byte for byte — the parallel path is a strict extension
+// of the sequential one, not a different algorithm.
+func TestBuildMatchesSequentialAdd(t *testing.T) {
+	vecs := clusteredVecs(200, 16, 4, 73)
+	seq := buildIndex(vecs)
+	par := Build(16, vecs, Config{}, 8)
+	if !bytes.Equal(encodeBytes(seq), encodeBytes(par)) {
+		t.Fatal("Build below the warm prefix diverged from sequential Add")
+	}
+}
+
+// Quantized navigation must keep recall: the int8 beam search ranks by
+// approximate distances, so we gate it against the true float oracle (a
+// float index over the same vectors — ids line up by insertion order).
+func TestQuantizedRecall(t *testing.T) {
+	vecs := clusteredVecs(2000, 32, 8, 7)
+	oracle := buildIndex(vecs)
+	qix := Build(32, vecs, Config{Quantized: true}, 4)
+	if !qix.Quantized() {
+		t.Fatal("Config.Quantized did not stick")
+	}
+	queries := clusteredVecs(50, 32, 8, 99)
+	const k = 10
+	hits, total := 0, 0
+	for _, q := range queries {
+		want := bruteTopN(oracle, q, k)
+		got := qix.Search(q, k, 100)
+		in := make(map[int]bool, len(got))
+		for _, id := range got {
+			in[id] = true
+		}
+		for _, id := range want {
+			total++
+			if in[id] {
+				hits++
+			}
+		}
+	}
+	if recall := float64(hits) / float64(total); recall < 0.95 {
+		t.Fatalf("quantized recall@%d = %.3f vs float oracle, want >= 0.95", k, recall)
+	}
+}
+
+func TestQuantizedCodecRoundTrip(t *testing.T) {
+	vecs := clusteredVecs(300, 16, 4, 45)
+	ix := Build(16, vecs, Config{Quantized: true}, 2)
+	for _, id := range []int{5, 77, 142} {
+		if err := ix.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := roundTrip(t, ix)
+	if !got.Quantized() {
+		t.Fatal("round trip dropped the quantized storage flag")
+	}
+	if got.Len() != ix.Len() || got.Live() != ix.Live() || got.Dim() != ix.Dim() {
+		t.Fatalf("round trip changed shape: %d/%d/%d vs %d/%d/%d",
+			got.Len(), got.Live(), got.Dim(), ix.Len(), ix.Live(), ix.Dim())
+	}
+	q := clusteredVecs(1, 16, 4, 46)[0]
+	if a, b := ix.Search(q, 10, 64), got.Search(q, 10, 64); !reflect.DeepEqual(a, b) {
+		t.Fatalf("round trip changed search results: %v vs %v", a, b)
+	}
+	// Growth equivalence: a decoded quantized graph keeps extending exactly
+	// like the original (codes, sums, and links all restored verbatim).
+	for _, v := range clusteredVecs(10, 16, 4, 47) {
+		ix.Add(v)
+		got.Add(v)
+	}
+	if !bytes.Equal(encodeBytes(ix), encodeBytes(got)) {
+		t.Fatal("post-decode growth diverged from the original quantized graph")
+	}
+}
+
+func TestDecodeRejectsQuantizedCorruption(t *testing.T) {
+	// A hand-written single-node quantized payload in the v2 layout; each
+	// case bends one field that Decode must catch.
+	payload := func(scale, offset float32, codes []byte) *codec.Buffer {
+		var b codec.Buffer
+		b.Bool(true) // quantized storage
+		b.Int(8)     // dim
+		b.Int(4)     // M
+		b.Int(10)    // efConstruction
+		b.Uvarint(1) // seed
+		b.Int(1)     // one node
+		b.Int(0)     // entry
+		b.Int(0)     // maxLvl
+		b.Int(0)     // node level
+		b.Bool(false)
+		b.Float32(scale)
+		b.Float32(offset)
+		b.RawBytes(codes)
+		b.Int(0) // layer 0: no neighbors
+		return &b
+	}
+	// Sanity: the well-formed version of the payload decodes cleanly, so
+	// the rejections below test the mutation and not the layout.
+	if ix, err := Decode(codec.NewScanner(payload(0.5, 0, make([]byte, 8)).Bytes())); err != nil {
+		t.Fatalf("well-formed quantized payload rejected: %v", err)
+	} else if !ix.Quantized() || ix.Len() != 1 {
+		t.Fatalf("well-formed payload decoded to Quantized=%v Len=%d", ix.Quantized(), ix.Len())
+	}
+
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	bad := []struct {
+		name string
+		buf  *codec.Buffer
+	}{
+		{"NaN scale", payload(nan, 0, make([]byte, 8))},
+		{"Inf offset", payload(0.5, inf, make([]byte, 8))},
+		{"negative scale", payload(-1, 0, make([]byte, 8))},
+		{"truncated codes", payload(0.5, 0, make([]byte, 7))},
+		{"oversized codes", payload(0.5, 0, make([]byte, 9))},
+	}
+	for _, tc := range bad {
+		if _, err := Decode(codec.NewScanner(tc.buf.Bytes())); !errors.Is(err, codec.ErrCorrupt) && !errors.Is(err, codec.ErrTruncated) {
+			t.Errorf("%s: err = %v, want ErrCorrupt/ErrTruncated", tc.name, err)
+		}
+	}
+
+	// Truncations of a real quantized encoding must error, never panic.
+	valid := encodeBytes(Build(8, clusteredVecs(50, 8, 2, 51), Config{Quantized: true}, 2))
+	for cut := 0; cut < len(valid); cut += 7 {
+		sc := codec.NewScanner(valid[:cut])
+		if ix, err := Decode(sc); err == nil && sc.Finish() == nil {
+			_ = ix.Search(make(vector.Vec32, ix.Dim()), 3, 8)
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+}
+
+// Compact and Clone must preserve search behaviour exactly on quantized
+// storage: codes are copied verbatim (never re-quantized), so with an
+// exhaustive beam the ranked results match modulo Compact's id remap.
+func TestQuantizedCompactClonePreservesSearch(t *testing.T) {
+	vecs := clusteredVecs(400, 16, 4, 81)
+	ix := Build(16, vecs, Config{Quantized: true}, 3)
+	for _, id := range []int{3, 120, 377} {
+		if err := ix.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := clusteredVecs(20, 16, 4, 82)
+	want := make([][]int, len(queries))
+	for i, q := range queries {
+		want[i] = ix.Search(q, 10, ix.Len())
+	}
+
+	cl := ix.Clone()
+	remap := make(map[int]int)
+	cp := ix.Compact(func(oldID, newID int) { remap[oldID] = newID })
+	if !cl.Quantized() || !cp.Quantized() {
+		t.Fatalf("storage flag lost: clone=%v compact=%v", cl.Quantized(), cp.Quantized())
+	}
+	if cp.Len() != ix.Live() || cp.Live() != ix.Live() {
+		t.Fatalf("compact Len=%d Live=%d, want %d live nodes", cp.Len(), cp.Live(), ix.Live())
+	}
+	for i, q := range queries {
+		if got := cl.Search(q, 10, cl.Len()); !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("query %d: clone results %v, want %v", i, got, want[i])
+		}
+		mapped := make([]int, len(want[i]))
+		for j, id := range want[i] {
+			mapped[j] = remap[id]
+		}
+		if got := cp.Search(q, 10, cp.Len()); !reflect.DeepEqual(got, mapped) {
+			t.Fatalf("query %d: compact results %v, want %v (remapped from %v)", i, got, mapped, want[i])
+		}
+	}
+}
+
+// Search must stay allocation-lean: traversal state lives in a pooled
+// scratch, so a query costs only the result slice and a handful of fixed
+// allocations, independent of ef and graph size. The bound pins the
+// scratch reuse — regressing to per-query beam/visited allocations blows
+// straight through it.
+func TestSearchAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"float", Config{}},
+		{"quantized", Config{Quantized: true}},
+	} {
+		ix := Build(32, clusteredVecs(2000, 32, 8, 91), tc.cfg, 2)
+		q := clusteredVecs(1, 32, 8, 92)[0]
+		allocs := testing.AllocsPerRun(100, func() {
+			ix.Search(q, 10, 100)
+		})
+		if allocs > 8 {
+			t.Errorf("%s: %.1f allocs per Search, want <= 8", tc.name, allocs)
+		}
+	}
+}
+
 func BenchmarkSearch(b *testing.B) {
 	for _, n := range []int{1000, 10000} {
 		vecs := clusteredVecs(n, 64, 10, 61)
 		ix := buildIndex(vecs)
+		qix := Build(64, vecs, Config{Quantized: true}, 1)
 		q := clusteredVecs(1, 64, 10, 62)[0]
 		b.Run(fmt.Sprintf("hnsw/n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ix.Search(q, 10, 100)
+			}
+		})
+		b.Run(fmt.Sprintf("hnsw-quant/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				qix.Search(q, 10, 100)
 			}
 		})
 		b.Run(fmt.Sprintf("brute/n=%d", n), func(b *testing.B) {
@@ -293,5 +527,25 @@ func BenchmarkSearch(b *testing.B) {
 				bruteTopN(ix, q, 10)
 			}
 		})
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	vecs := clusteredVecs(5000, 64, 10, 63)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"float", Config{}},
+		{"quantized", Config{Quantized: true}},
+	} {
+		for _, w := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					Build(64, vecs, tc.cfg, w)
+				}
+			})
+		}
 	}
 }

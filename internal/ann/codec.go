@@ -2,8 +2,10 @@ package ann
 
 import (
 	"fmt"
+	"math"
 
 	"dust/internal/codec"
+	"dust/internal/vector"
 )
 
 // Graph (de)serialization. Encode/Decode handle one payload section — the
@@ -11,25 +13,44 @@ import (
 // embeds the graph alongside its own identity) provides magic, versioning,
 // and the checksum. Decode validates every structural invariant the
 // traversal code relies on — levels, link shapes, neighbor ranges, the
-// entry point — so a corrupt or hostile graph fails with a typed error
-// instead of panicking mid-search.
+// entry point, quantization parameters — so a corrupt or hostile graph
+// fails with a typed error instead of panicking mid-search.
+//
+// The current (envelope version 2) payload leads with a storage flag and
+// carries either float32 vectors or SQ8 codes with their per-node scale
+// and offset; the cached code sums are recomputed on load. Version 1
+// payloads (pre-quantization, float only) remain loadable via DecodeV1.
 
-// Encode appends the graph to b.
+// Encode appends the graph to b in the current (version 2) layout.
 func (ix *Index) Encode(b *codec.Buffer) {
+	b.Bool(ix.quant)
 	b.Int(ix.dim)
 	b.Int(ix.m)
 	b.Int(ix.efCon)
 	b.Uvarint(ix.seed)
-	n := len(ix.vecs)
+	n := ix.Len()
 	b.Int(n)
 	if n > 0 {
 		b.Int(int(ix.entry))
 		b.Int(int(ix.maxLvl))
 	}
+	var raw []byte
+	if ix.quant {
+		raw = make([]byte, ix.dim)
+	}
 	for i := 0; i < n; i++ {
 		b.Int(int(ix.levels[i]))
 		b.Bool(ix.deleted[i])
-		b.Float32s(ix.vecs[i])
+		if ix.quant {
+			b.Float32(ix.qscale[i])
+			b.Float32(ix.qoff[i])
+			for j, c := range ix.codeAt(int32(i)) {
+				raw[j] = byte(c)
+			}
+			b.RawBytes(raw)
+		} else {
+			b.Float32s(ix.vecs[i])
+		}
 		for _, nbs := range ix.links[i] {
 			b.Int(len(nbs))
 			for _, nb := range nbs {
@@ -39,12 +60,24 @@ func (ix *Index) Encode(b *codec.Buffer) {
 	}
 }
 
-// Decode reads a graph written by Encode from sc, validating structure as
-// it goes. On any inconsistency it returns an error wrapping
-// codec.ErrCorrupt (or the scanner's truncation error) and never panics.
-func Decode(sc *codec.Scanner) (*Index, error) {
+// Decode reads a graph written by Encode (the current layout) from sc,
+// validating structure as it goes. On any inconsistency it returns an
+// error wrapping codec.ErrCorrupt (or the scanner's truncation error) and
+// never panics.
+func Decode(sc *codec.Scanner) (*Index, error) { return decode(sc, 2) }
+
+// DecodeV1 reads the pre-quantization float-only payload layout written
+// under KindANN envelope version 1, so indexes saved before the SQ8
+// format bump stay loadable.
+func DecodeV1(sc *codec.Scanner) (*Index, error) { return decode(sc, 1) }
+
+func decode(sc *codec.Scanner, version int) (*Index, error) {
 	fail := func(format string, args ...any) (*Index, error) {
 		return nil, fmt.Errorf("ann: "+format+": %w", append(args, codec.ErrCorrupt)...)
+	}
+	quant := false
+	if version >= 2 {
+		quant = sc.Bool()
 	}
 	dim := sc.Int()
 	m := sc.Int()
@@ -60,7 +93,7 @@ func Decode(sc *codec.Scanner) (*Index, error) {
 	if m <= 0 || m > 1<<12 || efCon <= 0 || efCon > 1<<20 {
 		return fail("parameters M=%d ef=%d out of range", m, efCon)
 	}
-	ix := New(dim, Config{M: m, EfConstruction: efCon, Seed: seed})
+	ix := New(dim, Config{M: m, EfConstruction: efCon, Seed: seed, Quantized: quant})
 	if n == 0 {
 		return ix, sc.Err()
 	}
@@ -77,17 +110,40 @@ func Decode(sc *codec.Scanner) (*Index, error) {
 	}
 	ix.entry, ix.maxLvl = int32(entry), int32(maxLvl)
 
+	codesOf := make([]int8, dim)
 	for i := 0; i < n && sc.Err() == nil; i++ {
 		lvl := sc.Int()
 		dead := sc.Bool()
-		vec := sc.Float32s()
+		var vec []float32
+		var scale, offset float32
+		if quant {
+			scale = sc.Float32()
+			offset = sc.Float32()
+			raw := sc.RawBytes()
+			if sc.Err() != nil {
+				break
+			}
+			if len(raw) != dim {
+				return fail("node %d has %d codes, want %d", i, len(raw), dim)
+			}
+			// The affine parameters feed every distance; NaN/Inf or a
+			// negative scale would silently poison traversal ordering.
+			if bad32(scale) || bad32(offset) || scale < 0 {
+				return fail("node %d quantization parameters scale=%v offset=%v invalid", i, scale, offset)
+			}
+			for j, c := range raw {
+				codesOf[j] = int8(c)
+			}
+		} else {
+			vec = sc.Float32s()
+		}
 		if sc.Err() != nil {
 			break
 		}
 		if lvl < 0 || lvl > maxLvl {
 			return fail("node %d level %d out of range [0,%d]", i, lvl, maxLvl)
 		}
-		if len(vec) != dim {
+		if !quant && len(vec) != dim {
 			return fail("node %d has dim %d, want %d", i, len(vec), dim)
 		}
 		layers := make([][]int32, lvl+1)
@@ -116,7 +172,16 @@ func Decode(sc *codec.Scanner) (*Index, error) {
 			}
 			layers[l] = nbs
 		}
-		ix.vecs = append(ix.vecs, vec)
+		if quant {
+			ix.codes = append(ix.codes, codesOf...)
+			s1, s2 := vector.CodeSums(codesOf)
+			ix.qscale = append(ix.qscale, scale)
+			ix.qoff = append(ix.qoff, offset)
+			ix.qs1 = append(ix.qs1, s1)
+			ix.qs2 = append(ix.qs2, s2)
+		} else {
+			ix.vecs = append(ix.vecs, vec)
+		}
 		ix.levels = append(ix.levels, int32(lvl))
 		ix.deleted = append(ix.deleted, dead)
 		if dead {
@@ -142,4 +207,9 @@ func Decode(sc *codec.Scanner) (*Index, error) {
 		}
 	}
 	return ix, nil
+}
+
+func bad32(f float32) bool {
+	f64 := float64(f)
+	return math.IsNaN(f64) || math.IsInf(f64, 0)
 }

@@ -196,6 +196,19 @@ func (b *Buffer) Float32s(v []float32) {
 	}
 }
 
+// Float32 appends one float32 as its IEEE-754 bits (per-vector
+// quantization parameters are stored at float32 precision).
+func (b *Buffer) Float32(f float32) {
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, math.Float32bits(f))
+}
+
+// RawBytes appends a length-prefixed byte slice (quantized vector codes
+// are stored as raw bytes, one per dimension).
+func (b *Buffer) RawBytes(v []byte) {
+	b.Int(len(v))
+	b.buf = append(b.buf, v...)
+}
+
 // Uint64s appends a length-prefixed []uint64 (fixed width).
 func (b *Buffer) Uint64s(v []uint64) {
 	b.Int(len(v))
@@ -372,6 +385,37 @@ func (s *Scanner) Float32s() []float32 {
 		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(s.buf[s.off:]))
 		s.off += 4
 	}
+	return out
+}
+
+// Float32 reads one float32.
+func (s *Scanner) Float32() float32 {
+	if s.err != nil {
+		return 0
+	}
+	if s.remaining() < 4 {
+		s.fail(ErrTruncated)
+		return 0
+	}
+	f := math.Float32frombits(binary.LittleEndian.Uint32(s.buf[s.off:]))
+	s.off += 4
+	return f
+}
+
+// RawBytes reads a length-prefixed byte slice. The returned slice is a
+// copy, so callers may retain it after the payload is released.
+func (s *Scanner) RawBytes() []byte {
+	n := s.Int()
+	if s.err != nil {
+		return nil
+	}
+	if n > s.remaining() {
+		s.fail(ErrTruncated)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, s.buf[s.off:s.off+n])
+	s.off += n
 	return out
 }
 

@@ -101,6 +101,9 @@ func TestBufferScannerRoundTrip(t *testing.T) {
 	b.Float64s([]float64{1, -2.5, 1e-300})
 	b.Float32s(nil)
 	b.Float32s([]float32{1.5, -0.25, 3e7})
+	b.Float32(-0.0078125)
+	b.RawBytes(nil)
+	b.RawBytes([]byte{0x00, 0x7F, 0x80, 0xFF})
 	b.Uint64s([]uint64{math.MaxUint64, 0, 7})
 
 	s := NewScanner(b.Bytes())
@@ -142,6 +145,15 @@ func TestBufferScannerRoundTrip(t *testing.T) {
 	}
 	if got := s.Float32s(); !reflect.DeepEqual(got, []float32{1.5, -0.25, 3e7}) {
 		t.Errorf("float32s = %v", got)
+	}
+	if got := s.Float32(); got != -0.0078125 {
+		t.Errorf("float32 = %v", got)
+	}
+	if got := s.RawBytes(); len(got) != 0 {
+		t.Errorf("nil raw bytes = %v", got)
+	}
+	if got := s.RawBytes(); !reflect.DeepEqual(got, []byte{0x00, 0x7F, 0x80, 0xFF}) {
+		t.Errorf("raw bytes = %v", got)
 	}
 	if got := s.Uint64s(); !reflect.DeepEqual(got, []uint64{math.MaxUint64, 0, 7}) {
 		t.Errorf("uint64s = %v", got)
@@ -196,6 +208,14 @@ func TestScannerHostileLengths(t *testing.T) {
 	}
 	if s.Err() == nil {
 		t.Error("no error for hostile string length")
+	}
+
+	s = NewScanner(b.Bytes())
+	if got := s.RawBytes(); got != nil {
+		t.Errorf("got %v", got)
+	}
+	if s.Err() == nil {
+		t.Error("no error for hostile raw-bytes length")
 	}
 }
 

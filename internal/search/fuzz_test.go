@@ -38,6 +38,21 @@ func FuzzLoadIndex(f *testing.F) {
 	}
 	f.Add(annSeed.Bytes())
 
+	// The SQ8 side of the graph codec: a valid quantized record, one with
+	// bytes flipped deep in the node section (lands in scales/offsets/
+	// codes, steering mutations at the quantization validators), and a
+	// truncation that cuts a node's code block short.
+	qHost := NewStarmie(b.Lake, WithMode(ANN), WithQuantized(true))
+	var qSeed bytes.Buffer
+	if err := qHost.SaveANN(&qSeed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(qSeed.Bytes())
+	flipped := append([]byte(nil), qSeed.Bytes()...)
+	flipped[len(flipped)*3/4] ^= 0xFF
+	f.Add(flipped)
+	f.Add(qSeed.Bytes()[:len(qSeed.Bytes())*2/3])
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// A successful load must yield a usable index; errors just return.
 		if s, err := LoadStarmie(bytes.NewReader(data), b.Lake); err == nil {

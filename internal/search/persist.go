@@ -24,7 +24,9 @@ const (
 	TuplesFormatVersion  uint16 = 1
 	// ANNFormatVersion is the HNSW candidate-graph payload version
 	// (codec.KindANN): encoder identity, node-to-table mapping, graph.
-	ANNFormatVersion uint16 = 1
+	// Version 2 added the storage flag and SQ8 quantized layout; version
+	// 1 files (float-only) remain loadable.
+	ANNFormatVersion uint16 = 2
 )
 
 // Save writes the Starmie index — encoder identity, corpus document
@@ -91,6 +93,7 @@ func LoadStarmie(r io.Reader, l *lake.Lake, opts ...Option) (*Starmie, error) {
 		cols:       make(map[string][]vector.Vec, l.Len()),
 		big:        make(map[string]bool),
 		workers:    o.workers,
+		quantized:  o.quantized,
 		Oversample: DefaultOversample,
 		EfSearch:   DefaultEfSearch,
 	}
@@ -190,7 +193,7 @@ func (s *Starmie) SaveANN(w io.Writer) error {
 // column, per table). It does not switch retrieval modes — call
 // SetMode(ANN), which reuses the installed graph instead of rebuilding.
 func (s *Starmie) LoadANN(r io.Reader) error {
-	_, payload, err := codec.ReadEnvelope(r, codec.KindANN, ANNFormatVersion)
+	version, payload, err := codec.ReadEnvelope(r, codec.KindANN, ANNFormatVersion)
 	if err != nil {
 		return fmt.Errorf("starmie: load ann: %w", err)
 	}
@@ -203,7 +206,13 @@ func (s *Starmie) LoadANN(r io.Reader) error {
 			encName, modelPrint, dim, s.enc.Name(), s.enc.Model.Fingerprint(), s.enc.Dim(), ErrEncoderMismatch)
 	}
 	names := sc.Strings()
-	graph, err := ann.Decode(sc)
+	// The graph layout is selected by the envelope version: v1 files
+	// predate quantization and carry float-only payloads.
+	decodeGraph := ann.Decode
+	if version == 1 {
+		decodeGraph = ann.DecodeV1
+	}
+	graph, err := decodeGraph(sc)
 	if err != nil {
 		return fmt.Errorf("starmie: load ann: %w", err)
 	}
@@ -433,6 +442,7 @@ func LoadTupleSearch(r io.Reader, tables []*table.Table, opts ...Option) (*Tuple
 	ts := &TupleSearch{
 		enc:        embed.NewRoBERTa(),
 		workers:    o.workers,
+		quantized:  o.quantized,
 		Oversample: DefaultOversample,
 		EfSearch:   DefaultEfSearch,
 	}

@@ -386,6 +386,45 @@ type ModeViewer interface {
 	ModeView(m Mode) (s Searcher, ok bool)
 }
 
+// Tunable is a searcher whose ANN candidate stage can be reshaped after
+// construction: SetOversample sizes the candidate pool of a top-k query
+// (ceil(Oversample*k) nominees before exact re-ranking) and SetEfSearch
+// sets the HNSW traversal beam width. Non-positive values restore the
+// package defaults. Exact-mode queries ignore both.
+type Tunable interface {
+	SetOversample(v float64)
+	SetEfSearch(ef int)
+}
+
+// IndexFootprint is one index's resident-size report: the storage kind
+// ("quantized", "float", or "none") and its estimated bytes.
+type IndexFootprint struct {
+	Storage string
+	Bytes   int64
+}
+
+// IndexSizer reports the resident footprint of a searcher's ANN index
+// structures. The serving layer exports it as the dust_index_bytes gauge,
+// where the storage label separates quantized from float graphs.
+type IndexSizer interface {
+	// IndexBytes returns the storage kind — "quantized", "float", or
+	// "none" when no graph is installed — and the estimated resident
+	// bytes of the candidate index.
+	IndexBytes() (storage string, bytes int64)
+}
+
+// indexBytes derives the IndexSizer answer for a (possibly nil) graph.
+func indexBytes(ix *ann.Index) (string, int64) {
+	switch {
+	case ix == nil:
+		return "none", 0
+	case ix.Quantized():
+		return "quantized", ix.Bytes()
+	default:
+		return "float", ix.Bytes()
+	}
+}
+
 // Cloner is a Searcher that can produce an independently mutable copy of
 // itself bound to a (cloned) lake: Incremental mutations on the clone never
 // disturb the original, while the heavy immutable index state — embedding
@@ -402,9 +441,10 @@ type Cloner interface {
 type Option func(*options)
 
 type options struct {
-	workers int
-	mode    Mode
-	corpus  *tokenize.Corpus
+	workers   int
+	mode      Mode
+	corpus    *tokenize.Corpus
+	quantized bool
 }
 
 // WithWorkers bounds the parallelism of index construction and query
@@ -428,6 +468,16 @@ func WithMode(m Mode) Option { return func(o *options) { o.mode = m } }
 // corpus (its embeddings are TF-IDF-sensitive); other searchers ignore the
 // option.
 func WithSharedCorpus(c *tokenize.Corpus) Option { return func(o *options) { o.corpus = c } }
+
+// WithQuantized selects SQ8 scalar-quantized storage for the ANN candidate
+// graph (internal/ann), cutting its resident vector memory 4x. It applies
+// whenever this searcher builds a graph — SetMode(ANN) on a graph-less
+// searcher, or a maintenance rebuild from embeddings; a graph loaded from
+// disk or carried through Compact/Clone keeps its stored representation.
+// Exact-mode results are unaffected (quantization only shapes candidate
+// nomination; scoring always runs on the exact float64 embeddings), and
+// ANN recall stays gated against the exact oracle.
+func WithQuantized(on bool) Option { return func(o *options) { o.quantized = on } }
 
 func applyOptions(opts []Option) options {
 	var o options

@@ -41,6 +41,9 @@ type Starmie struct {
 	// across every searcher sharing it.
 	sharedCorpus bool
 	workers      int
+	// quantized selects SQ8 storage for graphs this searcher builds
+	// (WithQuantized); loaded graphs keep their stored representation.
+	quantized bool
 	// MinSim drops column matches below this similarity (Starmie's
 	// verification threshold).
 	MinSim float64
@@ -88,6 +91,7 @@ func NewStarmieWithEncoder(l *lake.Lake, enc embed.StarmieEncoder, opts ...Optio
 		cols:       make(map[string][]vector.Vec, l.Len()),
 		big:        make(map[string]bool),
 		workers:    o.workers,
+		quantized:  o.quantized,
 		MinSim:     0.3,
 		Oversample: DefaultOversample,
 		EfSearch:   DefaultEfSearch,
@@ -164,14 +168,61 @@ func (s *Starmie) Retriever() Retriever {
 // before writing the graph file).
 func (s *Starmie) HasANN() bool { return s.graph != nil }
 
+// IndexBytes implements IndexSizer: the storage mode and estimated
+// resident bytes of the installed candidate graph.
+func (s *Starmie) IndexBytes() (string, int64) { return indexBytes(s.graph) }
+
+// Graph exposes the installed candidate graph (nil without one) so
+// benchmarks and serving instrumentation can read its size and storage
+// breakdown. Callers must not mutate it.
+func (s *Starmie) Graph() *ann.Index { return s.graph }
+
+// SetOversample implements Tunable; v <= 0 restores the default.
+func (s *Starmie) SetOversample(v float64) {
+	if v <= 0 {
+		v = DefaultOversample
+	}
+	s.Oversample = v
+}
+
+// SetEfSearch implements Tunable; ef <= 0 restores the default.
+func (s *Starmie) SetEfSearch(ef int) {
+	if ef <= 0 {
+		ef = DefaultEfSearch
+	}
+	s.EfSearch = ef
+}
+
+// SetQuantized switches the storage mode used when this searcher builds
+// its candidate graph (WithQuantized's post-construction form). If a
+// graph with a different storage is already installed it is rebuilt from
+// the stored embeddings in lake order immediately — any accumulated
+// tombstones compact away with it.
+func (s *Starmie) SetQuantized(on bool) {
+	s.quantized = on
+	if s.graph != nil && s.graph.Quantized() != on {
+		s.buildGraph()
+	}
+}
+
 // buildGraph indexes every column embedding into a fresh HNSW graph, in
-// lake iteration order so the graph is identical across processes.
+// lake iteration order so the graph is identical across processes. The
+// bulk path goes through ann.Build — batch-parallel and bit-reproducible
+// at every worker count — with node ids equal to insertion positions,
+// exactly as the incremental annAdd path books them.
 func (s *Starmie) buildGraph() {
-	s.graph = ann.New(s.enc.Dim(), ann.Config{})
 	s.annTables = nil
 	s.annIDs = make(map[string][]int, s.lake.Len())
+	var vecs []vector.Vec32
 	for _, t := range s.lake.Tables() {
-		s.annAdd(t.Name)
+		for _, v := range s.cols[t.Name] {
+			vecs = append(vecs, vector.ToVec32(v))
+			s.annTables = append(s.annTables, t.Name)
+		}
+	}
+	s.graph = ann.Build(s.enc.Dim(), vecs, ann.Config{Quantized: s.quantized}, s.workers)
+	for id, name := range s.annTables {
+		s.annIDs[name] = append(s.annIDs[name], id)
 	}
 }
 

@@ -30,8 +30,11 @@ type ScoredTuple struct {
 type TupleSearch struct {
 	enc     *embed.Encoder
 	workers int
-	tuples  []ScoredTuple // score unused at index time
-	vecs    []vector.Vec
+	// quantized selects SQ8 storage for graphs this searcher builds
+	// (WithQuantized); loaded graphs keep their stored representation.
+	quantized bool
+	tuples    []ScoredTuple // score unused at index time
+	vecs      []vector.Vec
 
 	// Staged retrieval state (mode ANN), the tuple-level analogue of
 	// Starmie's: an HNSW graph over every tuple embedding. annTuples and
@@ -61,6 +64,7 @@ func NewTupleSearch(tables []*table.Table, opts ...Option) *TupleSearch {
 	ts := &TupleSearch{
 		enc:        embed.NewRoBERTa(),
 		workers:    o.workers,
+		quantized:  o.quantized,
 		Oversample: DefaultOversample,
 		EfSearch:   DefaultEfSearch,
 	}
@@ -114,15 +118,42 @@ func (ts *TupleSearch) SetMode(m Mode) error {
 // RetrievalMode reports the active retrieval backend.
 func (ts *TupleSearch) RetrievalMode() Mode { return ts.mode }
 
-// buildGraph indexes every tuple embedding, in index order.
+// buildGraph indexes every tuple embedding, in index order, through the
+// batch-parallel ann.Build (ids equal slice positions, matching the
+// bookkeeping the incremental annAddOne path would produce).
 func (ts *TupleSearch) buildGraph() {
-	ts.graph = ann.New(ts.enc.Dim(), ann.Config{})
-	ts.annTuples = nil
-	ts.annVecs = nil
+	ts.annTuples = append([]ScoredTuple(nil), ts.tuples...)
+	ts.annVecs = append([]vector.Vec(nil), ts.vecs...)
 	ts.annIDs = make(map[string][]int)
-	for i := range ts.tuples {
-		ts.annAddOne(ts.tuples[i], ts.vecs[i])
+	vecs := make([]vector.Vec32, len(ts.vecs))
+	for i, v := range ts.vecs {
+		vecs[i] = vector.ToVec32(v)
 	}
+	ts.graph = ann.Build(ts.enc.Dim(), vecs, ann.Config{Quantized: ts.quantized}, ts.workers)
+	for i := range ts.annTuples {
+		name := ts.annTuples[i].Table.Name
+		ts.annIDs[name] = append(ts.annIDs[name], i)
+	}
+}
+
+// IndexBytes implements IndexSizer: the storage mode and estimated
+// resident bytes of the installed candidate graph.
+func (ts *TupleSearch) IndexBytes() (string, int64) { return indexBytes(ts.graph) }
+
+// SetOversample implements Tunable; v <= 0 restores the default.
+func (ts *TupleSearch) SetOversample(v float64) {
+	if v <= 0 {
+		v = DefaultOversample
+	}
+	ts.Oversample = v
+}
+
+// SetEfSearch implements Tunable; ef <= 0 restores the default.
+func (ts *TupleSearch) SetEfSearch(ef int) {
+	if ef <= 0 {
+		ef = DefaultEfSearch
+	}
+	ts.EfSearch = ef
 }
 
 func (ts *TupleSearch) annAddOne(tu ScoredTuple, v vector.Vec) {

@@ -136,6 +136,21 @@ func newServerMetrics(s *Server, scatterOn bool) *serverMetrics {
 			}
 		})
 
+	r.NewGaugeFunc("dust_index_bytes",
+		"Resident bytes of the published snapshot's ANN index structures by shard and storage (quantized/float); shard \"all\" is the whole index. Absent while no graph is installed.",
+		[]string{"shard", "storage"},
+		func(emit func(float64, ...string)) {
+			master := s.snap.Load().master
+			if fp := master.IndexBytes(); fp.Storage != "none" {
+				emit(float64(fp.Bytes), "all", fp.Storage)
+			}
+			for i, fp := range master.ShardIndexBytes() {
+				if fp.Storage != "none" {
+					emit(float64(fp.Bytes), strconv.Itoa(i), fp.Storage)
+				}
+			}
+		})
+
 	if scatterOn {
 		r.NewCounterFunc("dust_scatter_queries_total",
 			"Sharded scatter-gather queries timed by the stage accumulator.", nil,

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dust"
+	"dust/internal/search"
 )
 
 // postBody posts body to url with the given content type and returns the
@@ -281,6 +282,69 @@ func TestMetricsSharded(t *testing.T) {
 		`dust_scatter_stage_seconds_total{stage="scatter"} `,
 		`dust_shard_tables{shard="0"} `,
 		`dust_shard_tables{shard="1"} `,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("sharded exposition missing %q", want)
+		}
+	}
+}
+
+// TestIndexBytesSurfaces pins the index-footprint observability: an
+// exact-mode pipeline has no graph (gauge absent, /stats reports none), an
+// ANN pipeline exports dust_index_bytes with the right storage label, a
+// quantized one is smaller and labeled "quantized", and a sharded pipeline
+// adds per-shard samples that sum to the "all" row.
+func TestIndexBytesSurfaces(t *testing.T) {
+	b := fixedLake()
+
+	statsIndex := func(url string) (string, int64) {
+		t.Helper()
+		var st statsResponse
+		if code := getJSON(t, url+"/stats", &st); code != http.StatusOK {
+			t.Fatalf("stats status %d", code)
+		}
+		return st.Index.Storage, st.Index.Bytes
+	}
+	serveFor := func(opts ...dust.Option) (*httptest.Server, string) {
+		t.Helper()
+		p := dust.New(b.Lake, opts...)
+		ts := httptest.NewServer(New(p))
+		t.Cleanup(ts.Close)
+		return ts, scrapeMetrics(t, ts.URL)
+	}
+
+	ts, text := serveFor()
+	if strings.Contains(text, "dust_index_bytes{") {
+		t.Error("exact-mode pipeline exports dust_index_bytes samples")
+	}
+	if st, n := statsIndex(ts.URL); st != "none" || n != 0 {
+		t.Errorf("exact-mode /stats index = %s/%d, want none/0", st, n)
+	}
+
+	ts, text = serveFor(dust.WithRetriever(search.ANN))
+	if !strings.Contains(text, `dust_index_bytes{shard="all",storage="float"} `) {
+		t.Errorf("float exposition missing the all-shards sample:\n%s", text)
+	}
+	stf, fbytes := statsIndex(ts.URL)
+	if stf != "float" || fbytes <= 0 {
+		t.Errorf("float /stats index = %s/%d, want float/>0", stf, fbytes)
+	}
+
+	ts, text = serveFor(dust.WithRetriever(search.ANN), dust.WithQuantized(true))
+	if !strings.Contains(text, `dust_index_bytes{shard="all",storage="quantized"} `) {
+		t.Errorf("quantized exposition missing the all-shards sample:\n%s", text)
+	}
+	stq, qbytes := statsIndex(ts.URL)
+	if stq != "quantized" || qbytes <= 0 || qbytes >= fbytes {
+		t.Errorf("quantized /stats index = %s/%d, want quantized and smaller than float %d",
+			stq, qbytes, fbytes)
+	}
+
+	_, text = serveFor(dust.WithRetriever(search.ANN), dust.WithQuantized(true), dust.WithShards(2))
+	for _, want := range []string{
+		`dust_index_bytes{shard="all",storage="quantized"} `,
+		`dust_index_bytes{shard="0",storage="quantized"} `,
+		`dust_index_bytes{shard="1",storage="quantized"} `,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("sharded exposition missing %q", want)

@@ -731,6 +731,13 @@ type statsResponse struct {
 		Entries int    `json:"entries"`
 		Bytes   int64  `json:"bytes"`
 	} `json:"cache"`
+	// Index reports the resident footprint of the snapshot's ANN index
+	// structures ("none" storage with zero bytes while no graph is
+	// installed), mirroring the dust_index_bytes gauge.
+	Index struct {
+		Storage string `json:"storage"`
+		Bytes   int64  `json:"bytes"`
+	} `json:"index"`
 	ConfigTag string `json:"config"`
 }
 
@@ -754,6 +761,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ConfigTag:   snap.tag,
 	}
 	resp.Cache.Hits, resp.Cache.Misses, resp.Cache.Entries, resp.Cache.Bytes = s.cache.Stats()
+	fp := snap.master.IndexBytes()
+	resp.Index.Storage, resp.Index.Bytes = fp.Storage, fp.Bytes
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -159,6 +159,10 @@ type Config struct {
 	// Mode selects the retrieval backend every shard starts in (default
 	// search.Exact). Equivalent to SetMode right after construction.
 	Mode search.Mode
+	// Quantized selects SQ8 storage for the HNSW graphs the shards build
+	// (search.WithQuantized per shard); graphs loaded from disk keep
+	// their stored representation regardless.
+	Quantized bool
 }
 
 // Searcher is a sharded table-union searcher: search.Searcher backed by N
@@ -213,7 +217,8 @@ func NewStarmie(l *lake.Lake, n int, cfg Config) *Searcher {
 	s.corpus = corpus
 	for i, sl := range s.sublakes {
 		s.subs[i] = search.NewStarmie(sl,
-			search.WithWorkers(cfg.Workers), search.WithSharedCorpus(corpus))
+			search.WithWorkers(cfg.Workers), search.WithSharedCorpus(corpus),
+			search.WithQuantized(cfg.Quantized))
 	}
 	s.finish(cfg)
 	return s
@@ -954,6 +959,82 @@ func (s *Searcher) QueryWorkers(n int) search.Searcher {
 // accumulator. Not synchronized with in-flight queries — attach before
 // querying starts.
 func (s *Searcher) Instrument(st *StageTimings) { s.timings = st }
+
+// SetQuantized fans the graph storage mode to every shard (see
+// search.Starmie.SetQuantized): shards already carrying a graph of a
+// different storage rebuild it from their stored embeddings. Shards
+// whose searcher kind has no quantized form (D3L) are unaffected.
+func (s *Searcher) SetQuantized(on bool) {
+	for _, sub := range s.subs {
+		if q, ok := sub.(interface{ SetQuantized(bool) }); ok {
+			q.SetQuantized(on)
+		}
+	}
+}
+
+// SetOversample implements search.Tunable: it sizes this set's merged ANN
+// candidate pool and fans the factor to the shards (whose own Oversample
+// only matters on their local fallback paths). v <= 0 restores the
+// default.
+func (s *Searcher) SetOversample(v float64) {
+	if v <= 0 {
+		v = search.DefaultOversample
+	}
+	s.Oversample = v
+	for _, sub := range s.subs {
+		if t, ok := sub.(search.Tunable); ok {
+			t.SetOversample(v)
+		}
+	}
+}
+
+// SetEfSearch implements search.Tunable by fanning the beam width to
+// every shard's own graph traversal. ef <= 0 restores the default.
+func (s *Searcher) SetEfSearch(ef int) {
+	for _, sub := range s.subs {
+		if t, ok := sub.(search.Tunable); ok {
+			t.SetEfSearch(ef)
+		}
+	}
+}
+
+// IndexBytes implements search.IndexSizer as the sum over the shards.
+// Storage is uniform across shards by construction; a hand-assembled set
+// that disagrees reports "mixed".
+func (s *Searcher) IndexBytes() (string, int64) {
+	storage, total := "none", int64(0)
+	for _, sub := range s.subs {
+		sz, ok := sub.(search.IndexSizer)
+		if !ok {
+			continue
+		}
+		st, b := sz.IndexBytes()
+		total += b
+		switch {
+		case st == "none":
+		case storage == "none":
+			storage = st
+		case storage != st:
+			storage = "mixed"
+		}
+	}
+	return storage, total
+}
+
+// ShardIndexBytes returns every shard's own storage mode and resident
+// index bytes in shard order — the per-shard series behind the serving
+// layer's dust_index_bytes gauge. Shards without an ANN index report
+// ("none", 0).
+func (s *Searcher) ShardIndexBytes() []search.IndexFootprint {
+	out := make([]search.IndexFootprint, len(s.subs))
+	for i, sub := range s.subs {
+		out[i].Storage = "none"
+		if sz, ok := sub.(search.IndexSizer); ok {
+			out[i].Storage, out[i].Bytes = sz.IndexBytes()
+		}
+	}
+	return out
+}
 
 // ShardMaintenanceStats returns every shard's own tombstone debt, indexed
 // by shard — the per-shard view a maintainer (or an operator dashboard)

@@ -1,0 +1,141 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randVec32(rng *rand.Rand, dim int) Vec32 {
+	v := make(Vec32, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		v := randVec32(rng, 64)
+		q := Quantize(v)
+		got := Dequantize(q)
+		// Reconstruction error is bounded by Scale/2 per dimension (plus
+		// float rounding slack).
+		tol := float64(q.Scale)*0.5 + 1e-6
+		for i := range v {
+			if err := math.Abs(float64(v[i] - got[i])); err > tol {
+				t.Fatalf("trial %d dim %d: |%v - %v| = %v > %v", trial, i, v[i], got[i], err, tol)
+			}
+		}
+	}
+}
+
+func TestQuantizeEndpointsExact(t *testing.T) {
+	v := Vec32{-3.5, 0.25, 7.125, 1}
+	q := Quantize(v)
+	got := Dequantize(q)
+	// min maps to code -128, which reconstructs the minimum exactly.
+	if got[0] != v[0] {
+		t.Errorf("min: got %v, want %v", got[0], v[0])
+	}
+}
+
+func TestQuantizeConstantAndEmpty(t *testing.T) {
+	q := Quantize(Vec32{2.5, 2.5, 2.5})
+	if q.Scale != 0 {
+		t.Errorf("constant vector scale = %v", q.Scale)
+	}
+	for i, v := range Dequantize(q) {
+		if v != 2.5 {
+			t.Errorf("dim %d: got %v", i, v)
+		}
+	}
+	if q := Quantize(nil); len(q.Codes) != 0 || q.Scale != 0 || q.Offset != 0 {
+		t.Errorf("empty vector: %+v", q)
+	}
+}
+
+func TestQuantizeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v := randVec32(rng, 128)
+	a, b := Quantize(v), Quantize(append(Vec32(nil), v...))
+	if a.Scale != b.Scale || a.Offset != b.Offset {
+		t.Fatalf("params differ: %v/%v vs %v/%v", a.Scale, a.Offset, b.Scale, b.Offset)
+	}
+	for i := range a.Codes {
+		if a.Codes[i] != b.Codes[i] {
+			t.Fatalf("code %d differs", i)
+		}
+	}
+}
+
+func TestSquaredEuclideanQMatchesDequantized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		a := randVec32(rng, 48)
+		x := Quantize(randVec32(rng, 48))
+		want := SquaredEuclidean32(a, Dequantize(x))
+		got := SquaredEuclideanQ(a, x)
+		if math.Abs(float64(got-want)) > 1e-3*(1+math.Abs(float64(want))) {
+			t.Errorf("trial %d: fused %v vs dequantized %v", trial, got, want)
+		}
+	}
+}
+
+func TestDotQMatchesDequantized(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		a := randVec32(rng, 48)
+		x := Quantize(randVec32(rng, 48))
+		var want float32
+		for i, v := range Dequantize(x) {
+			want += a[i] * v
+		}
+		got := DotQ(a, x)
+		if math.Abs(float64(got-want)) > 1e-3*(1+math.Abs(float64(want))) {
+			t.Errorf("trial %d: fused %v vs dequantized %v", trial, got, want)
+		}
+	}
+}
+
+func TestCodeSumsAndDots(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Lengths around the unroll boundary exercise both loop tails.
+	for _, dim := range []int{0, 1, 3, 4, 5, 7, 8, 63, 64, 65} {
+		a := make([]int8, dim)
+		b := make([]int8, dim)
+		q := make(Vec32, dim)
+		for i := 0; i < dim; i++ {
+			a[i] = int8(rng.Intn(256) - 128)
+			b[i] = int8(rng.Intn(256) - 128)
+			q[i] = float32(rng.NormFloat64())
+		}
+		var s1, s2, dot int32
+		var fdot float32
+		for i := 0; i < dim; i++ {
+			s1 += int32(a[i])
+			s2 += int32(a[i]) * int32(a[i])
+			dot += int32(a[i]) * int32(b[i])
+			fdot += q[i] * float32(a[i])
+		}
+		if g1, g2 := CodeSums(a); g1 != s1 || g2 != s2 {
+			t.Errorf("dim %d: CodeSums = (%d,%d), want (%d,%d)", dim, g1, g2, s1, s2)
+		}
+		if got := DotCodes(a, b); got != dot {
+			t.Errorf("dim %d: DotCodes = %d, want %d", dim, got, dot)
+		}
+		if got := DotF32Codes(q, a); math.Abs(float64(got-fdot)) > 1e-3 {
+			t.Errorf("dim %d: DotF32Codes = %v, want %v", dim, got, fdot)
+		}
+	}
+}
+
+func TestQuantKernelDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on dimension mismatch")
+		}
+	}()
+	SquaredEuclideanQ(Vec32{1, 2}, Quantize(Vec32{1, 2, 3}))
+}
