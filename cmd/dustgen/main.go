@@ -5,12 +5,21 @@
 //
 //	dustgen -bench santos -out ./santos
 //	dustgen -bench santos -out ./santos -index
+//	dustgen -spec 'tables=1000,rows=40,seed=7,null=0.02' -out ./lake1k
 //
 // The output directory receives lake/<table>.csv, queries/<query>.csv, and
 // groundtruth.csv (query table name -> unionable lake table names). With
 // -index it also receives index/, a prebuilt search index that
 // `dustsearch -lake ./santos/lake -index-dir ./santos/index` warm-starts
 // from without re-embedding the lake.
+//
+// With -spec the lake comes from the seeded LakeSpec generator instead of
+// a named benchmark: comma-separated key=value knobs (tables, rows, cols,
+// seed, zipf, domain, parents, fk, and the dirty-data rates ragged, mixed,
+// unicode, null, empty). Spec CSVs are written through the dirty
+// serialiser, so ragged rows and malformed cells survive into the files —
+// the same bytes the ingestion fuzzers chew on. There is no groundtruth
+// for spec lakes; -queries controls how many query tables are emitted.
 package main
 
 import (
@@ -22,11 +31,14 @@ import (
 
 	"dust"
 	"dust/internal/datagen"
+	"dust/internal/lake"
 )
 
 func main() {
 	var (
 		bench    = flag.String("bench", "santos", "benchmark: tus, tus-sampled, santos, ugen, imdb")
+		spec     = flag.String("spec", "", "LakeSpec key=value knobs; overrides -bench (e.g. 'tables=1000,rows=40,seed=7')")
+		queries  = flag.Int("queries", 10, "query tables to emit in -spec mode")
 		out      = flag.String("out", "", "output directory (required)")
 		genIndex = flag.Bool("index", false, "also build the search index and save it under <out>/index")
 		workers  = flag.Int("workers", 0, "index-build parallelism (0 = all cores)")
@@ -35,6 +47,24 @@ func main() {
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "dustgen: -out is required")
 		os.Exit(2)
+	}
+
+	if *spec != "" {
+		s, err := datagen.ParseLakeSpec(*spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dustgen:", err)
+			os.Exit(2)
+		}
+		l, err := writeSpec(s, *out, *queries)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dustgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%s): %d queries, %s\n", l.Name, s.Normalized(), *queries, l.Stats())
+		if *genIndex {
+			saveIndex(l, *out, *workers)
+		}
+		return
 	}
 
 	var b *datagen.Benchmark
@@ -62,14 +92,44 @@ func main() {
 	fmt.Printf("wrote %s: %d queries, %s\n", b.Name, len(b.Queries), s)
 
 	if *genIndex {
-		idxDir := filepath.Join(*out, "index")
-		p := dust.New(b.Lake, dust.WithWorkers(*workers))
-		if err := p.SaveIndex(idxDir); err != nil {
-			fmt.Fprintln(os.Stderr, "dustgen:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote prebuilt index to %s\n", idxDir)
+		saveIndex(b.Lake, *out, *workers)
 	}
+}
+
+// saveIndex builds the search index for l and saves it under <out>/index.
+func saveIndex(l *lake.Lake, out string, workers int) {
+	idxDir := filepath.Join(out, "index")
+	p := dust.New(l, dust.WithWorkers(workers))
+	if err := p.SaveIndex(idxDir); err != nil {
+		fmt.Fprintln(os.Stderr, "dustgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote prebuilt index to %s\n", idxDir)
+}
+
+// writeSpec materialises a LakeSpec lake under dir. Table CSVs go through
+// the spec's dirty serialiser (raw bytes, not the lake's clean writer) so
+// ragged rows and malformed cells reach disk; the returned lake is the
+// spec's canonical in-memory form, used for stats and the optional index.
+func writeSpec(s datagen.LakeSpec, dir string, queries int) (*lake.Lake, error) {
+	s = s.Normalized()
+	lakeDir := filepath.Join(dir, "lake")
+	if err := os.MkdirAll(lakeDir, 0o755); err != nil {
+		return nil, err
+	}
+	for i := 0; i < s.Tables; i++ {
+		name := filepath.Join(lakeDir, s.TableName(i)+".csv")
+		if err := os.WriteFile(name, s.CSV(i), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < queries; i++ {
+		q := s.Query(i)
+		if err := q.SaveCSV(filepath.Join(dir, "queries", q.Name+".csv")); err != nil {
+			return nil, err
+		}
+	}
+	return s.Generate(), nil
 }
 
 func write(b *datagen.Benchmark, dir string) error {

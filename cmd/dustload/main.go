@@ -1,0 +1,189 @@
+// Command dustload is the open-loop load harness: it drives a dustserve
+// endpoint at a target QPS with Poisson arrivals and a mixed
+// search/PUT/DELETE workload generated from a LakeSpec, then writes the
+// BENCH_load.json trajectory artifact (target vs achieved QPS, per-class
+// p50/p99/p999 from scheduled arrival time, error/shed/degraded counts,
+// and the server's own /stats delta).
+//
+// Open loop means arrivals fire on schedule whether or not earlier
+// requests have completed, and latency is charged from the scheduled
+// instant — a stalled server cannot slow the load down and hide its own
+// tail (coordinated omission). See docs/BENCHMARKS.md.
+//
+// Usage:
+//
+//	# self-hosted: generate the lake, serve it in-process, drive it
+//	dustload -spec 'tables=1000,rows=40,seed=7' -qps 200 -duration 20s
+//
+//	# against a running dustserve (use the spec its lake was built from)
+//	dustload -addr http://localhost:8080 -spec 'tables=1000,rows=40,seed=7' \
+//	         -qps 500 -duration 60s -mix '0.9,0.05,0.05'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dust"
+	"dust/internal/datagen"
+	"dust/internal/loadgen"
+	"dust/internal/search"
+	"dust/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "dustserve base URL to drive; empty self-hosts a server over the -spec lake on a loopback port")
+		specStr  = flag.String("spec", "tables=200,rows=40,seed=1", "LakeSpec for the workload (and the self-hosted lake): comma-separated key=value, see dustgen -spec")
+		qps      = flag.Float64("qps", 100, "target mean arrival rate")
+		duration = flag.Duration("duration", 10*time.Second, "arrival-scheduling window")
+		mixStr   = flag.String("mix", "0.90,0.05,0.05", "search,put,delete workload weights")
+		k        = flag.Int("k", 10, "top-k per search (0 = server default)")
+		pool     = flag.Int("queries", 16, "distinct search bodies rotated through")
+		seed     = flag.Int64("seed", 1, "arrival/workload randomness")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		out      = flag.String("out", "BENCH_load.json", "report artifact path")
+		// Self-hosted server knobs (ignored with -addr).
+		inflight = flag.Int("inflight", 0, "self-host: max concurrent searches (0 = all cores)")
+		cacheCap = flag.Int("cache", 1024, "self-host: result cache capacity (0 disables)")
+		degrade  = flag.Float64("degrade-threshold", 0, "self-host: cost-aware admission load threshold (0 disables)")
+		ann      = flag.Bool("ann", false, "self-host: ANN candidate retrieval")
+	)
+	flag.Parse()
+
+	spec, err := datagen.ParseLakeSpec(*specStr)
+	if err != nil {
+		fatal(err)
+	}
+	mix, err := parseMix(*mixStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	base := *addr
+	if base == "" {
+		stop, hosted, err := selfHost(spec, *inflight, *cacheCap, *degrade, *ann)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		base = hosted
+	}
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:   base,
+		QPS:       *qps,
+		Duration:  *duration,
+		Seed:      *seed,
+		Mix:       mix,
+		Spec:      spec,
+		K:         *k,
+		QueryPool: *pool,
+		Timeout:   *timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	printReport(rep)
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// selfHost generates the spec's lake, indexes it, and serves it on a
+// loopback listener, returning a shutdown func and the base URL.
+func selfHost(spec datagen.LakeSpec, inflight, cacheCap int, degrade float64, ann bool) (func(), string, error) {
+	boot := time.Now()
+	l := spec.Generate()
+	opts := []dust.Option{dust.WithTopTables(10)}
+	if ann {
+		opts = append(opts, dust.WithRetriever(search.ANN))
+	}
+	p := dust.New(l, opts...)
+	srv := serve.New(p,
+		serve.WithMaxInFlight(inflight),
+		serve.WithCacheCapacity(cacheCap),
+		serve.WithDegradeThreshold(degrade),
+	)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = hs.Serve(ln) }()
+	fmt.Printf("self-hosted %s (%s) on %s in %v\n",
+		l.Name, l.Stats(), ln.Addr(), time.Since(boot).Round(time.Millisecond))
+	stop := func() {
+		_ = hs.Close()
+		srv.Close()
+	}
+	return stop, "http://" + ln.Addr().String(), nil
+}
+
+// parseMix parses "search,put,delete" weights.
+func parseMix(s string) (loadgen.Mix, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return loadgen.Mix{}, fmt.Errorf("mix %q: want three comma-separated weights", s)
+	}
+	var w [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return loadgen.Mix{}, fmt.Errorf("mix %q: %v", s, err)
+		}
+		w[i] = v
+	}
+	return loadgen.Mix{Search: w[0], Put: w[1], Delete: w[2]}, nil
+}
+
+// printReport renders the human summary of one run.
+func printReport(rep *loadgen.Report) {
+	fmt.Printf("open-loop load: target %.1f qps, achieved %.1f qps over %.1fs (%d requests, %d failed, %d shed)\n",
+		rep.TargetQPS, rep.AchievedQPS, rep.DurationS, rep.Requests, rep.Failed, rep.Shed)
+	classes := make([]string, 0, len(rep.Classes))
+	for class := range rep.Classes {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		c := rep.Classes[class]
+		if c.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-7s %5d ok / %d (%d shed, %d degraded, %d errors)  p50 %7.2fms  p99 %7.2fms  p999 %7.2fms\n",
+			class, c.OK, c.Count, c.Shed, c.Degraded, c.Errors, c.P50MS, c.P99MS, c.P999MS)
+	}
+	if rep.Server != nil {
+		fmt.Printf("  server: %d searches, %d mutations, %d shed, %d degraded, %d cache hits\n",
+			rep.Server.Searches, rep.Server.Mutations, rep.Server.Shed,
+			rep.Server.Degraded, rep.Server.CacheHits)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dustload:", err)
+	os.Exit(1)
+}

@@ -11,6 +11,7 @@
 //
 //	dustserve -lake ./santos/lake -addr :8080
 //	dustserve -lake ./santos/lake -index-dir ./santos/index    # warm start
+//	dustserve -spec 'tables=1000,rows=40,seed=7' -addr :8080   # synthetic lake
 //
 // With -index-dir the server warm-starts from a saved index when one
 // exists and otherwise builds the index cold and saves it for next boot.
@@ -40,6 +41,7 @@ import (
 	"time"
 
 	"dust"
+	"dust/internal/datagen"
 	"dust/internal/lake"
 	"dust/internal/model"
 	"dust/internal/search"
@@ -48,7 +50,8 @@ import (
 
 func main() {
 	var (
-		lakeDir    = flag.String("lake", "", "directory of lake CSVs (required)")
+		lakeDir    = flag.String("lake", "", "directory of lake CSVs (required unless -spec)")
+		specStr    = flag.String("spec", "", "serve a synthetic LakeSpec lake instead of -lake: comma-separated key=value knobs (see dustgen -spec)")
 		indexDir   = flag.String("index-dir", "", "saved-index directory: warm-start from it when present, create it otherwise")
 		addr       = flag.String("addr", ":8080", "listen address")
 		topTables  = flag.Int("tables", 10, "unionable tables retrieved per query")
@@ -71,14 +74,31 @@ func main() {
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	)
 	flag.Parse()
-	if *lakeDir == "" {
-		fmt.Fprintln(os.Stderr, "dustserve: -lake is required")
+	if *lakeDir == "" && *specStr == "" {
+		fmt.Fprintln(os.Stderr, "dustserve: -lake or -spec is required")
+		os.Exit(2)
+	}
+	if *lakeDir != "" && *specStr != "" {
+		fmt.Fprintln(os.Stderr, "dustserve: -lake and -spec are mutually exclusive")
 		os.Exit(2)
 	}
 
-	l, err := lake.Load(*lakeDir)
-	if err != nil {
-		fatal(err)
+	var l *lake.Lake
+	var err error
+	if *specStr != "" {
+		spec, perr := datagen.ParseLakeSpec(*specStr)
+		if perr != nil {
+			fatal(perr)
+		}
+		gen := time.Now()
+		l = spec.Generate()
+		fmt.Printf("generated %s (%s) in %v\n",
+			spec.Normalized(), l.Stats(), time.Since(gen).Round(time.Millisecond))
+	} else {
+		l, err = lake.Load(*lakeDir)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	opts := []dust.Option{
 		dust.WithTopTables(*topTables), dust.WithWorkers(*workers), dust.WithShards(*shards),

@@ -1,0 +1,459 @@
+// Package loadgen is the open-loop load harness behind cmd/dustload and
+// the BENCH_load.json artifact. It drives a live dustserve endpoint at a
+// target QPS with Poisson arrivals and a mixed search/PUT/DELETE
+// workload drawn from a datagen.LakeSpec, and measures per-class
+// p50/p99/p999 latency with error/shed/degraded accounting.
+//
+// Open loop, not closed loop: request arrival times are scheduled in
+// advance from an exponential inter-arrival distribution and every
+// request fires at its scheduled instant regardless of whether earlier
+// requests have returned. Latency is measured from the SCHEDULED arrival
+// time, so when the server stalls, the queueing delay of every request
+// that should have been issued during the stall is charged to the
+// server. A closed-loop harness (issue, wait, issue) silently stops
+// issuing while stalled and reports misleadingly healthy tails — the
+// coordinated-omission trap this package exists to avoid.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dust/internal/datagen"
+	"dust/internal/obs"
+	"dust/internal/serve"
+	"dust/internal/table"
+)
+
+// Request classes of the mixed workload, used as histogram label values
+// and Report map keys.
+const (
+	ClassSearch = "search"
+	ClassPut    = "put"
+	ClassDelete = "delete"
+)
+
+// LatencyBuckets are the harness's histogram bounds: ~0.2ms to ~66s,
+// geometric with ratio 1.3, fine enough that interpolated p999 error
+// stays within one 30% bucket step. (obs.DefBuckets is too coarse for
+// p999 at serving speeds.)
+var LatencyBuckets = func() []float64 {
+	var b []float64
+	for v := 0.0002; v < 70; v *= 1.3 {
+		b = append(b, v)
+	}
+	return b
+}()
+
+// Mix is the workload class distribution. Weights are relative (they
+// need not sum to 1); the zero value means search-only.
+type Mix struct {
+	Search float64 `json:"search"`
+	Put    float64 `json:"put"`
+	Delete float64 `json:"delete"`
+}
+
+// normalized returns the mix with weights summing to 1, defaulting to
+// search-only when all weights are zero or negative.
+func (m Mix) normalized() Mix {
+	if m.Search < 0 {
+		m.Search = 0
+	}
+	if m.Put < 0 {
+		m.Put = 0
+	}
+	if m.Delete < 0 {
+		m.Delete = 0
+	}
+	total := m.Search + m.Put + m.Delete
+	if total <= 0 {
+		return Mix{Search: 1}
+	}
+	return Mix{Search: m.Search / total, Put: m.Put / total, Delete: m.Delete / total}
+}
+
+// Config parameterises one open-loop run.
+type Config struct {
+	// BaseURL locates the dustserve endpoint, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// QPS is the target mean arrival rate. Required > 0.
+	QPS float64
+	// Duration is the arrival-scheduling window. Requests scheduled
+	// inside it are all issued and drained, so a run can outlive
+	// Duration by the tail latency. Required > 0.
+	Duration time.Duration
+	// Seed drives arrivals and workload choice; same seed, same schedule.
+	Seed int64
+	// Mix is the class distribution (zero value: search-only).
+	Mix Mix
+	// Spec is the workload source: queries sample its lake tables, PUT
+	// bodies are fresh tables drawn past its Tables index. It should be
+	// the spec the target lake was generated from.
+	Spec datagen.LakeSpec
+	// K is the top-k per search; 0 takes the server default.
+	K int
+	// QueryPool is how many distinct search bodies rotate; default 16.
+	QueryPool int
+	// Timeout caps each request; default 30s.
+	Timeout time.Duration
+	// Client optionally overrides the HTTP client (Timeout then unused).
+	Client *http.Client
+}
+
+// ClassReport is the per-class half of the artifact: counts by outcome
+// and latency quantiles in milliseconds, measured from scheduled
+// arrival time.
+type ClassReport struct {
+	Count    uint64  `json:"count"`
+	OK       uint64  `json:"ok"`
+	Errors   uint64  `json:"errors"`
+	Shed     uint64  `json:"shed"`
+	Degraded uint64  `json:"degraded"`
+	MeanMS   float64 `json:"mean_ms"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	P999MS   float64 `json:"p999_ms"`
+}
+
+// ServerDelta is the change in the server's own /stats counters across
+// the run — the server-side view the client accounting is checked
+// against.
+type ServerDelta struct {
+	Searches  uint64 `json:"searches"`
+	Mutations uint64 `json:"mutations"`
+	Rejected  uint64 `json:"rejected"`
+	Canceled  uint64 `json:"canceled"`
+	Degraded  uint64 `json:"degraded"`
+	Shed      uint64 `json:"shed"`
+	CacheHits uint64 `json:"cache_hits"`
+}
+
+// Report is the JSON shape of BENCH_load.json.
+type Report struct {
+	Benchmark   string                 `json:"benchmark"`
+	OpenLoop    bool                   `json:"open_loop"`
+	Workload    string                 `json:"workload"` // LakeSpec in key=value form
+	Mix         Mix                    `json:"mix"`
+	Seed        int64                  `json:"seed"`
+	TargetQPS   float64                `json:"target_qps"`
+	AchievedQPS float64                `json:"achieved_qps"`
+	DurationS   float64                `json:"duration_s"` // wall time incl. drain
+	Requests    uint64                 `json:"requests"`
+	Failed      uint64                 `json:"failed"` // transport + unexpected-status errors (shed excluded)
+	Shed        uint64                 `json:"shed"`
+	Degraded    uint64                 `json:"degraded"`
+	Classes     map[string]ClassReport `json:"classes"`
+	Server      *ServerDelta           `json:"server,omitempty"`
+}
+
+// classCounters is the lock-free per-class tally updated by in-flight
+// requests.
+type classCounters struct {
+	count, ok, errors, shed, degraded atomic.Uint64
+}
+
+// plannedReq is one scheduled request, fully materialised before its
+// arrival instant so issuing it costs no generator time.
+type plannedReq struct {
+	class  string
+	method string
+	path   string
+	body   []byte
+	name   string // PUT only: table name to confirm on success
+}
+
+// tableWire mirrors the serve layer's table body shape.
+type tableWire struct {
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Run executes one open-loop run and returns its Report. It returns an
+// error only for unusable configuration or an unreachable server — a
+// run whose individual requests fail still completes and reports the
+// failures. Cancelling ctx stops scheduling new arrivals; requests
+// already issued are drained.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("loadgen: BaseURL required")
+	}
+	if cfg.QPS <= 0 {
+		return nil, fmt.Errorf("loadgen: QPS must be > 0, got %v", cfg.QPS)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: Duration must be > 0, got %v", cfg.Duration)
+	}
+	if cfg.QueryPool <= 0 {
+		cfg.QueryPool = 16
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+	mix := cfg.Mix.normalized()
+	spec := cfg.Spec.Normalized()
+
+	// Pre-marshal the search body pool so the hot loop never touches the
+	// generator.
+	queries := make([][]byte, cfg.QueryPool)
+	for i := range queries {
+		q := spec.Query(i)
+		body, err := json.Marshal(struct {
+			Query tableWire `json:"query"`
+			K     int       `json:"k,omitempty"`
+		}{Query: tableWire{Headers: q.Headers(), Rows: tuplesOf(q)}, K: cfg.K})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: marshal query %d: %w", i, err)
+		}
+		queries[i] = body
+	}
+
+	// The server must be up before the clock starts: a dead endpoint
+	// should be a config error, not a run with 100% failures.
+	before, err := scrapeStats(client, cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: target not responding: %w", err)
+	}
+
+	reg := obs.NewRegistry()
+	lat := reg.NewHistogram("load_latency_seconds",
+		"request latency from scheduled arrival", LatencyBuckets, "class")
+	counters := map[string]*classCounters{
+		ClassSearch: {}, ClassPut: {}, ClassDelete: {},
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// added buffers names of tables confirmed PUT and not yet deleted, so
+	// DELETEs always target something real.
+	added := make(chan string, 1<<16)
+	putSeq := 0
+	var wg sync.WaitGroup
+	start := time.Now()
+	var offset time.Duration
+
+schedule:
+	for {
+		// Exponential inter-arrival gap: Poisson arrival process at QPS.
+		offset += time.Duration(rng.ExpFloat64() / cfg.QPS * float64(time.Second))
+		if offset > cfg.Duration {
+			break
+		}
+		req := plan(rng, mix, spec, queries, added, &putSeq)
+		arrival := start.Add(offset)
+		if wait := time.Until(arrival); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				break schedule
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(req plannedReq, scheduled time.Time) {
+			defer wg.Done()
+			fire(client, cfg.BaseURL, req, scheduled, counters[req.class],
+				lat.With(req.class), added)
+		}(req, arrival)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Benchmark: "open-loop-load",
+		OpenLoop:  true,
+		Workload:  spec.String(),
+		Mix:       mix,
+		Seed:      cfg.Seed,
+		TargetQPS: cfg.QPS,
+		DurationS: elapsed.Seconds(),
+		Classes:   make(map[string]ClassReport, len(counters)),
+	}
+	for class, c := range counters {
+		h := lat.With(class)
+		cr := ClassReport{
+			Count:    c.count.Load(),
+			OK:       c.ok.Load(),
+			Errors:   c.errors.Load(),
+			Shed:     c.shed.Load(),
+			Degraded: c.degraded.Load(),
+			P50MS:    quantileMS(h, 0.5),
+			P99MS:    quantileMS(h, 0.99),
+			P999MS:   quantileMS(h, 0.999),
+		}
+		if cr.Count > 0 {
+			cr.MeanMS = h.Sum() / float64(cr.Count) * 1000
+		}
+		rep.Classes[class] = cr
+		rep.Requests += cr.Count
+		rep.Failed += cr.Errors
+		rep.Shed += cr.Shed
+		rep.Degraded += cr.Degraded
+	}
+	if elapsed > 0 {
+		rep.AchievedQPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	if after, err := scrapeStats(client, cfg.BaseURL); err == nil {
+		rep.Server = &ServerDelta{
+			Searches:  after.Searches - before.Searches,
+			Mutations: after.Mutations - before.Mutations,
+			Rejected:  after.Rejected - before.Rejected,
+			Canceled:  after.Canceled - before.Canceled,
+			Degraded:  after.Degraded - before.Degraded,
+			Shed:      after.Shed - before.Shed,
+			CacheHits: after.Cache.Hits - before.Cache.Hits,
+		}
+	}
+	return rep, nil
+}
+
+// plan materialises the next scheduled request. All randomness comes
+// from the scheduler's rng, so the request sequence is seed-determined;
+// only response-dependent choices (which confirmed table a DELETE
+// targets) vary with server timing.
+func plan(rng *rand.Rand, mix Mix, spec datagen.LakeSpec, queries [][]byte,
+	added chan string, putSeq *int) plannedReq {
+	w := rng.Float64()
+	switch {
+	case w < mix.Search:
+		return plannedReq{class: ClassSearch, method: http.MethodPost,
+			path: "/search", body: queries[rng.Intn(len(queries))]}
+	case w < mix.Search+mix.Put:
+		return planPut(rng, spec, putSeq)
+	default:
+		select {
+		case name := <-added:
+			return plannedReq{class: ClassDelete, method: http.MethodDelete,
+				path: "/tables/" + name}
+		default:
+			// Nothing confirmed added yet — a DELETE would be a guaranteed
+			// 404, so mutate in the other direction instead.
+			return planPut(rng, spec, putSeq)
+		}
+	}
+}
+
+// planPut mints the next fresh table to PUT: generator index past the
+// lake's own tables, renamed load_<seq> so nothing ever collides.
+func planPut(rng *rand.Rand, spec datagen.LakeSpec, putSeq *int) plannedReq {
+	name := fmt.Sprintf("load_%06d", *putSeq)
+	t := spec.Table(spec.Tables + *putSeq)
+	*putSeq++
+	body, err := json.Marshal(tableWire{Headers: t.Headers(), Rows: tuplesOf(t)})
+	if err != nil {
+		panic(fmt.Sprintf("loadgen: marshal generated table: %v", err)) // generator output is always marshalable
+	}
+	return plannedReq{class: ClassPut, method: http.MethodPut,
+		path: "/tables/" + name, body: body, name: name}
+}
+
+// fire issues one planned request at its arrival instant and classifies
+// the outcome. Latency is measured from the scheduled time, which is at
+// or before now — the open-loop contract.
+func fire(client *http.Client, base string, req plannedReq, scheduled time.Time,
+	c *classCounters, h *obs.Histogram, added chan string) {
+	var body io.Reader
+	if req.body != nil {
+		body = bytes.NewReader(req.body)
+	}
+	httpReq, err := http.NewRequest(req.method, base+req.path, body)
+	if err != nil {
+		c.count.Add(1)
+		c.errors.Add(1)
+		return
+	}
+	if req.body != nil {
+		httpReq.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(httpReq)
+	c.count.Add(1)
+	if err != nil {
+		h.Observe(time.Since(scheduled).Seconds())
+		c.errors.Add(1)
+		return
+	}
+	degraded := false
+	if req.class == ClassSearch && resp.StatusCode == http.StatusOK {
+		var out struct {
+			Degraded bool `json:"degraded"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		degraded = out.Degraded
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	// Latency includes reading the response: a request isn't served until
+	// its body has been delivered.
+	h.Observe(time.Since(scheduled).Seconds())
+
+	okStatus := http.StatusOK
+	if req.class == ClassPut {
+		okStatus = http.StatusCreated
+	}
+	switch {
+	case resp.StatusCode == okStatus:
+		c.ok.Add(1)
+		if degraded {
+			c.degraded.Add(1)
+		}
+		if req.class == ClassPut {
+			select {
+			case added <- req.name:
+			default: // buffer full: leak the name rather than block the run
+			}
+		}
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		c.shed.Add(1)
+	default:
+		c.errors.Add(1)
+	}
+}
+
+// quantileMS converts a histogram quantile to milliseconds, mapping the
+// empty-histogram NaN to 0 so the report always marshals.
+func quantileMS(h *obs.Histogram, q float64) float64 {
+	v := h.Quantile(q)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v * 1000
+}
+
+// tuplesOf flattens a table to its wire rows.
+func tuplesOf(t *table.Table) [][]string {
+	rows := make([][]string, t.NumRows())
+	for i := range rows {
+		rows[i] = t.Row(i)
+	}
+	return rows
+}
+
+// scrapeStats fetches and decodes GET /stats.
+func scrapeStats(client *http.Client, base string) (*serve.StatsResponse, error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /stats: status %d", resp.StatusCode)
+	}
+	var st serve.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("GET /stats: %w", err)
+	}
+	return &st, nil
+}

@@ -1,0 +1,169 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dust"
+	"dust/internal/datagen"
+	"dust/internal/search"
+	"dust/internal/serve"
+)
+
+// startServer stands up a dustserve over a LakeSpec-generated lake.
+func startServer(t *testing.T, spec datagen.LakeSpec, dustOpts []dust.Option, opts ...serve.Option) *httptest.Server {
+	t.Helper()
+	p := dust.New(spec.Generate(), append([]dust.Option{dust.WithTopTables(3)}, dustOpts...)...)
+	srv := serve.New(p, opts...)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+func TestOpenLoopRunAgainstServe(t *testing.T) {
+	spec := datagen.LakeSpec{Seed: 5, Tables: 16, Rows: 12}
+	ts := startServer(t, spec, nil)
+
+	cfg := Config{
+		BaseURL:   ts.URL,
+		QPS:       150,
+		Duration:  1200 * time.Millisecond,
+		Seed:      9,
+		Mix:       Mix{Search: 0.8, Put: 0.1, Delete: 0.1},
+		Spec:      spec,
+		K:         3,
+		QueryPool: 4,
+	}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !rep.OpenLoop || rep.Benchmark != "open-loop-load" {
+		t.Fatalf("artifact identity wrong: %+v", rep)
+	}
+	if rep.TargetQPS != 150 {
+		t.Fatalf("target qps %v", rep.TargetQPS)
+	}
+	// A Poisson process at 150 qps over 1.2s delivers ~180 arrivals; 5
+	// sigma leaves [113, 247].
+	if rep.Requests < 113 || rep.Requests > 247 {
+		t.Fatalf("requests %d far from Poisson expectation 180", rep.Requests)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("run against a healthy server failed %d requests: %+v", rep.Failed, rep.Classes)
+	}
+	if rep.AchievedQPS <= 0 {
+		t.Fatalf("achieved qps %v", rep.AchievedQPS)
+	}
+	// Elapsed wall time runs from start to the last drained response; the
+	// final arrival may be scheduled well inside the window, so only a
+	// sanity bound holds.
+	if rep.DurationS <= 0.5 {
+		t.Fatalf("duration %vs implausibly short", rep.DurationS)
+	}
+
+	search := rep.Classes[ClassSearch]
+	if search.Count == 0 || search.OK != search.Count-search.Shed {
+		t.Fatalf("search accounting off: %+v", search)
+	}
+	if !(search.P50MS <= search.P99MS && search.P99MS <= search.P999MS) {
+		t.Fatalf("quantiles not monotone: %+v", search)
+	}
+	if search.P50MS <= 0 {
+		t.Fatalf("p50 %vms not positive", search.P50MS)
+	}
+	muts := rep.Classes[ClassPut].Count + rep.Classes[ClassDelete].Count
+	if muts == 0 {
+		t.Fatal("mixed workload issued no mutations")
+	}
+	var total uint64
+	for _, c := range rep.Classes {
+		total += c.Count
+	}
+	if total != rep.Requests {
+		t.Fatalf("class counts %d don't sum to requests %d", total, rep.Requests)
+	}
+
+	// The server's own accounting must corroborate the client's.
+	if rep.Server == nil {
+		t.Fatal("no server-side stats delta")
+	}
+	if rep.Server.Searches != search.OK {
+		t.Fatalf("server saw %d searches, client confirmed %d", rep.Server.Searches, search.OK)
+	}
+	wantMuts := rep.Classes[ClassPut].OK + rep.Classes[ClassDelete].OK
+	if rep.Server.Mutations != wantMuts {
+		t.Fatalf("server saw %d mutations, client confirmed %d", rep.Server.Mutations, wantMuts)
+	}
+}
+
+func TestOpenLoopShedAccounting(t *testing.T) {
+	// A 1-slot admission gate with the shed policy armed must shed under
+	// an open-loop burst: the pipeline is configured in ANN mode, so no
+	// distinct degraded view exists and overload has nowhere to degrade
+	// to. The lake is big enough that searches stay above the cheap-cost
+	// floor, keeping the policy armed. Shed responses are policy, not
+	// failures.
+	spec := datagen.LakeSpec{Seed: 6, Tables: 200, Rows: 40}
+	ts := startServer(t, spec, []dust.Option{dust.WithRetriever(search.ANN)},
+		serve.WithMaxInFlight(1), serve.WithCacheCapacity(0),
+		serve.WithDegradeThreshold(0.5))
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		QPS:      500,
+		Duration: 700 * time.Millisecond,
+		Seed:     3,
+		Spec:     spec,
+		K:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	search := rep.Classes[ClassSearch]
+	if search.Shed == 0 {
+		t.Fatalf("no shed under a %d-request burst against 1 slot: %+v", rep.Requests, search)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("shed misclassified as failure: %+v", search)
+	}
+	if rep.Server == nil || rep.Server.Shed != search.Shed {
+		t.Fatalf("server shed %v, client shed %d", rep.Server, search.Shed)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, Config{QPS: 1, Duration: time.Second}); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+	if _, err := Run(ctx, Config{BaseURL: "http://x", Duration: time.Second}); err == nil {
+		t.Fatal("zero QPS accepted")
+	}
+	if _, err := Run(ctx, Config{BaseURL: "http://x", QPS: 1}); err == nil {
+		t.Fatal("zero Duration accepted")
+	}
+	// Unreachable server is a setup error, not a 100%-failure run.
+	if _, err := Run(ctx, Config{BaseURL: "http://127.0.0.1:1", QPS: 1, Duration: time.Millisecond}); err == nil {
+		t.Fatal("unreachable server accepted")
+	}
+}
+
+func TestMixNormalized(t *testing.T) {
+	if m := (Mix{}).normalized(); m.Search != 1 || m.Put != 0 || m.Delete != 0 {
+		t.Fatalf("zero mix -> %+v, want search-only", m)
+	}
+	m := Mix{Search: 3, Put: 1, Delete: 1}.normalized()
+	if m.Search != 0.6 || m.Put != 0.2 || m.Delete != 0.2 {
+		t.Fatalf("3:1:1 -> %+v", m)
+	}
+	if m := (Mix{Search: -1, Put: 2}).normalized(); m.Put != 1 {
+		t.Fatalf("negative weight not clamped: %+v", m)
+	}
+}

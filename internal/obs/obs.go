@@ -132,6 +132,43 @@ func (h *Histogram) Observe(v float64) {
 // Count returns how many values were observed.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Quantile estimates the q-th quantile (clamped to [0, 1]) of the
+// observed distribution the way Prometheus' histogram_quantile does:
+// find the bucket containing the target rank and interpolate linearly
+// inside it. The estimate's resolution is therefore the bucket width —
+// callers wanting tight p999 figures must register suitably fine
+// buckets. Observations beyond the last finite bound cannot be
+// interpolated and report that bound. An empty histogram reports NaN.
+// Quantile is safe to call concurrently with Observe; a racing
+// observation may or may not be included.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	lower := 0.0
+	for i, bound := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			return lower + (bound-lower)*((rank-cum)/c)
+		}
+		cum += c
+		lower = bound
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 

@@ -63,17 +63,16 @@ type soakMutation struct {
 // table set produces, i.e. every answer matches some consistent snapshot.
 // Run under -race in CI.
 func TestSoakConcurrentSearchAndMutation(t *testing.T) {
-	b := datagen.Generate("soak", datagen.Config{
-		Seed: 17, Domains: 3, TablesPerBase: 4, BaseRows: 40, MinRows: 10, MaxRows: 20,
-	})
+	spec := datagen.LakeSpec{Name: "soak", Seed: 17, Tables: 14, Rows: 16}
+	l := spec.Generate()
 	const k = 5
 
 	// Hold three tables out of the lake; the mutator adds/removes them live.
-	names := b.Lake.Names()
+	names := l.Names()
 	held := make([]*table.Table, 3)
 	for i := range held {
-		held[i] = b.Lake.Get(names[len(names)-1-i])
-		if err := b.Lake.Remove(held[i].Name); err != nil {
+		held[i] = l.Get(names[len(names)-1-i])
+		if err := l.Remove(held[i].Name); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -86,10 +85,11 @@ func TestSoakConcurrentSearchAndMutation(t *testing.T) {
 		{remove: held[2].Name},
 	}
 
-	p := dust.New(b.Lake, dust.WithTopTables(4))
-	queries := b.Queries
-	if len(queries) > 3 {
-		queries = queries[:3]
+	p := dust.New(l, dust.WithTopTables(4))
+	// Query tables come from the same spec, so they hit real lake content.
+	queries := make([]*table.Table, 3)
+	for i := range queries {
+		queries[i] = spec.Query(i)
 	}
 
 	// Precompute the expected result for every (epoch, query) pair by
@@ -238,28 +238,33 @@ func TestSoakConcurrentSearchAndMutation(t *testing.T) {
 	if hz.Epoch != uint64(len(schedule)) {
 		t.Fatalf("final epoch %d, want %d", hz.Epoch, len(schedule))
 	}
-	if hz.Tables != b.Lake.Len() {
-		t.Fatalf("final table count %d, want %d (schedule removes everything it adds)", hz.Tables, b.Lake.Len())
+	if hz.Tables != l.Len() {
+		t.Fatalf("final table count %d, want %d (schedule removes everything it adds)", hz.Tables, l.Len())
 	}
 }
 
-// benchServer builds a server over the fixed lake for throughput runs.
-func benchServer(b *testing.B, opts ...Option) (*httptest.Server, []byte) {
-	bench := datagen.Generate("serve-bench", datagen.Config{
-		Seed: 81, Domains: 4, TablesPerBase: 5, BaseRows: 60, MinRows: 15, MaxRows: 30,
-	})
-	p := dust.New(bench.Lake, dust.WithTopTables(5))
+// Fixed specs for the throughput benchmarks; BENCH_serve.json numbers stay
+// comparable across commits because the seeds pin the lakes bit-for-bit.
+var (
+	benchSpec      = datagen.LakeSpec{Name: "serve-bench", Seed: 81, Tables: 20, Rows: 22}
+	largeBenchSpec = datagen.LakeSpec{Name: "serve-bench-large", Seed: 82, Tables: 600, Rows: 22}
+)
+
+// specServer builds a server over a LakeSpec lake and pre-marshals a
+// search body from the spec's first query table.
+func specServer(b *testing.B, spec datagen.LakeSpec, opts ...Option) (*Server, *httptest.Server, []byte) {
+	p := dust.New(spec.Generate(), dust.WithTopTables(5))
 	srv := New(p, opts...)
 	ts := httptest.NewServer(srv)
 	b.Cleanup(ts.Close)
-	q := bench.Queries[0]
+	q := spec.Query(0)
 	body, err := json.Marshal(searchRequest{
 		Query: tableJSON{Headers: q.Headers(), Rows: rowsOf(q)}, K: 5,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	return ts, body
+	return srv, ts, body
 }
 
 // BenchmarkServeThroughput measures end-to-end request latency and
@@ -292,11 +297,11 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 
 	b.Run("uncached", func(b *testing.B) {
-		ts, body := benchServer(b, WithCacheCapacity(0), WithMaxInFlight(8))
+		_, ts, body := specServer(b, benchSpec, WithCacheCapacity(0), WithMaxInFlight(8))
 		run(b, ts, body)
 	})
 	b.Run("cached", func(b *testing.B) {
-		ts, body := benchServer(b, WithCacheCapacity(1024), WithMaxInFlight(8))
+		_, ts, body := specServer(b, benchSpec, WithCacheCapacity(1024), WithMaxInFlight(8))
 		// Warm the single cache line the benchmark hits.
 		resp, err := http.Post(ts.URL+"/search", "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -312,23 +317,6 @@ func BenchmarkServeThroughput(b *testing.B) {
 	// stays above the degrade threshold for every request. The exact arm
 	// is the baseline the degraded arm must beat under the same load;
 	// recorded as the degraded-path entry in BENCH_serve.json.
-	largeServer := func(b *testing.B, opts ...Option) (*Server, *httptest.Server, []byte) {
-		bench := datagen.Generate("serve-bench-large", datagen.Config{
-			Seed: 82, Domains: 10, TablesPerBase: 60, BaseRows: 60, MinRows: 15, MaxRows: 30,
-		})
-		p := dust.New(bench.Lake, dust.WithTopTables(5))
-		srv := New(p, opts...)
-		ts := httptest.NewServer(srv)
-		b.Cleanup(ts.Close)
-		q := bench.Queries[0]
-		body, err := json.Marshal(searchRequest{
-			Query: tableJSON{Headers: q.Headers(), Rows: rowsOf(q)}, K: 5,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		return srv, ts, body
-	}
 	saturate := func(b *testing.B, srv *Server) {
 		for i := 0; i < 7; i++ {
 			srv.sem <- struct{}{}
@@ -340,12 +328,12 @@ func BenchmarkServeThroughput(b *testing.B) {
 		})
 	}
 	b.Run("saturated-exact", func(b *testing.B) {
-		srv, ts, body := largeServer(b, WithCacheCapacity(0), WithMaxInFlight(8))
+		srv, ts, body := specServer(b, largeBenchSpec, WithCacheCapacity(0), WithMaxInFlight(8))
 		saturate(b, srv)
 		run(b, ts, body)
 	})
 	b.Run("saturated-degraded", func(b *testing.B) {
-		srv, ts, body := largeServer(b, WithCacheCapacity(0), WithMaxInFlight(8),
+		srv, ts, body := specServer(b, largeBenchSpec, WithCacheCapacity(0), WithMaxInFlight(8),
 			WithDegradeThreshold(0.5))
 		saturate(b, srv)
 		run(b, ts, body)

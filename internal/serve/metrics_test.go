@@ -167,7 +167,7 @@ func TestRejectedVsCanceled(t *testing.T) {
 		t.Fatalf("rejected = %d, want still 1", got)
 	}
 
-	var st statsResponse
+	var st StatsResponse
 	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
 		t.Fatalf("stats status %d", code)
 	}
@@ -299,7 +299,7 @@ func TestIndexBytesSurfaces(t *testing.T) {
 
 	statsIndex := func(url string) (string, int64) {
 		t.Helper()
-		var st statsResponse
+		var st StatsResponse
 		if code := getJSON(t, url+"/stats", &st); code != http.StatusOK {
 			t.Fatalf("stats status %d", code)
 		}

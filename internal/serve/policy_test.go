@@ -165,7 +165,7 @@ func TestShedWithRetryAfter(t *testing.T) {
 		t.Error("exposition missing dust_serve_shed_total 1")
 	}
 
-	var st statsResponse
+	var st StatsResponse
 	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
 		t.Fatalf("stats status %d", code)
 	}
@@ -352,7 +352,7 @@ func TestMaintenanceCompactionUnderLoad(t *testing.T) {
 	if !strings.Contains(text, "dust_maintenance_compactions_total 1\n") {
 		t.Error("exposition missing dust_maintenance_compactions_total 1")
 	}
-	var stats statsResponse
+	var stats StatsResponse
 	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK || stats.Compactions != 1 {
 		t.Fatalf("stats compactions = %d (code %d), want 1", stats.Compactions, code)
 	}

@@ -710,8 +710,11 @@ func (s *Server) handleListTables(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// statsResponse is the body of GET /stats.
-type statsResponse struct {
+// StatsResponse is the body of GET /stats. It is exported as the wire
+// contract for external harnesses: the open-loop load generator
+// (internal/loadgen) scrapes /stats before and after a run and diffs
+// these counters against its client-side accounting.
+type StatsResponse struct {
 	Epoch       uint64 `json:"epoch"`
 	Tables      int    `json:"tables"`
 	Columns     int    `json:"columns"`
@@ -744,7 +747,7 @@ type statsResponse struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
 	st := snap.master.Lake().Stats()
-	resp := statsResponse{
+	resp := StatsResponse{
 		Epoch:       snap.Epoch(),
 		Tables:      st.Tables,
 		Columns:     st.Columns,

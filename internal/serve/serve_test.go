@@ -416,7 +416,7 @@ func TestCacheHitAndEpochInvalidation(t *testing.T) {
 		t.Fatalf("repeat at new epoch: cached %v epoch %d, want true/%d", afterHit.Cached, afterHit.Epoch, after.Epoch)
 	}
 
-	var st statsResponse
+	var st StatsResponse
 	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
 		t.Fatalf("stats status %d", code)
 	}
@@ -632,7 +632,7 @@ func TestModelEncoderServes(t *testing.T) {
 
 func TestConfigTagInStats(t *testing.T) {
 	_, ts, _ := newTestServer(t)
-	var st statsResponse
+	var st StatsResponse
 	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
 		t.Fatalf("stats status %d", code)
 	}
